@@ -1,0 +1,47 @@
+//! Criterion timing for the coloring substrate (E2's first stage):
+//! Linial + Kuhn–Wattenhofer pipeline vs the randomized coloring.
+
+use congest_coloring::{deterministic_delta_plus_one, RandomizedColoring};
+use congest_graph::generators;
+use congest_sim::{run_protocol, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring");
+    for &(n, d) in &[(256usize, 4usize), (1024, 8)] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let g = generators::random_regular(n, d, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("linial_kw_pipeline", format!("n{n}-d{d}")),
+            &g,
+            |b, g| b.iter(|| black_box(deterministic_delta_plus_one(g))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("randomized", format!("n{n}-d{d}")),
+            &g,
+            |b, g| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_protocol(
+                        g,
+                        SimConfig::congest_for(g),
+                        |_| RandomizedColoring::new(),
+                        seed,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_coloring
+}
+criterion_main!(benches);

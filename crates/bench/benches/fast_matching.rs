@@ -1,0 +1,62 @@
+//! Criterion timing for the Table-1 row 3 algorithms (E3): the
+//! nearly-maximal matching on the line graph, the weighted bucketing
+//! pipeline, and the 2-approx local-ratio matching for comparison.
+
+use congest_approx::fast::{mcm_two_plus_eps, mwm_two_plus_eps};
+use congest_approx::matching::mwm_lr_randomized;
+use congest_approx::maxis::Alg2Config;
+use congest_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fast_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_matching");
+    for &(n, d) in &[(128usize, 8usize), (256, 16)] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let mut g = generators::random_regular(n, d, &mut rng);
+        generators::randomize_edge_weights(&mut g, 256, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("mcm_2eps", format!("n{n}-d{d}")),
+            &g,
+            |b, g| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(mcm_two_plus_eps(g, 0.25, seed))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mwm_2eps_weighted", format!("n{n}-d{d}")),
+            &g,
+            |b, g| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(mwm_two_plus_eps(g, 0.25, seed))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mwm_lr_2approx", format!("n{n}-d{d}")),
+            &g,
+            |b, g| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(mwm_lr_randomized(g, &Alg2Config::default(), seed))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fast_matching
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion timing for the Table-1 row 1/2 algorithms (E1/E2): the
+//! layered randomized Algorithm 2, the deterministic Algorithm 3, and the
+//! sequential Algorithm 1 reference, across graph sizes.
+
+use congest_approx::maxis::{alg2, alg3, sequential_local_ratio, Alg2Config, SelectionRule};
+use congest_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_maxis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxis");
+    for &n in &[128usize, 512] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let mut g = generators::random_regular(n, 4, &mut rng);
+        generators::randomize_node_weights(&mut g, 1024, &mut rng);
+        group.bench_with_input(BenchmarkId::new("alg2_randomized", n), &g, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(alg2(g, &Alg2Config::default(), seed))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("alg3_deterministic", n), &g, |b, g| {
+            b.iter(|| black_box(alg3(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("alg1_sequential", n), &g, |b, g| {
+            b.iter(|| black_box(sequential_local_ratio(g, SelectionRule::TopLayerGreedyMis)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_maxis
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion timing for the Table-1 row 4 algorithms (E4): the LOCAL and
+//! CONGEST `(1+ε)` matching pipelines, with the exact blossom algorithm
+//! as the sequential reference.
+
+use congest_approx::hk::{mcm_one_plus_eps_congest, mcm_one_plus_eps_local};
+use congest_exact::blossom_maximum_matching;
+use congest_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_one_plus_eps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_plus_eps");
+    for &(n, d) in &[(48usize, 3usize), (80, 4)] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let g = generators::random_regular(n, d, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("local_b2", format!("n{n}-d{d}")),
+            &g,
+            |b, g| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(mcm_one_plus_eps_local(g, 0.34, seed))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("congest_b3", format!("n{n}-d{d}")),
+            &g,
+            |b, g| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(mcm_one_plus_eps_congest(g, 0.5, seed))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("blossom_exact", format!("n{n}-d{d}")),
+            &g,
+            |b, g| b.iter(|| black_box(blossom_maximum_matching(g))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_one_plus_eps
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation A3 — why the independent set gates the weight reductions.
+//!
+//! The paper's introductory star example: if every node performs its
+//! local-ratio reduction simultaneously, all weights can go negative at
+//! once and *nothing* is selected. Algorithm 2's MIS gating fixes this.
+//! This binary reproduces the failure and the fix across star sizes and
+//! weight profiles.
+//!
+//! Run with: `cargo run --release --bin ablation_star`
+
+use congest_approx::maxis::{alg2, naive_parallel_lr, Alg2Config};
+use congest_bench::Table;
+use congest_exact::brute_force_mwis;
+use congest_graph::{generators, NodeId};
+
+fn main() {
+    println!("# Ablation A3: ungated parallel local ratio vs Algorithm 2 (star example)\n");
+    let mut t = Table::new(&[
+        "star leaves", "center w", "leaf w", "naive-parallel weight", "alg2 weight", "OPT",
+    ]);
+    for &(leaves, center_w, leaf_w) in &[
+        (5usize, 8u64, 3u64), // the paper's shape: center > leaf, center < sum
+        (8, 12, 3),
+        (16, 20, 2),
+        (32, 40, 2),
+    ] {
+        let mut g = generators::star(leaves + 1);
+        g.set_node_weight(NodeId(0), center_w);
+        for leaf in 1..=leaves {
+            g.set_node_weight(NodeId(leaf as u32), leaf_w);
+        }
+        let (naive, _) = naive_parallel_lr(&g);
+        let gated = alg2(&g, &Alg2Config::default(), 1);
+        let opt = brute_force_mwis(&g).weight(&g);
+        t.row(vec![
+            leaves.to_string(),
+            center_w.to_string(),
+            leaf_w.to_string(),
+            naive.weight(&g).to_string(),
+            gated.independent_set.weight(&g).to_string(),
+            opt.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\nReading: the ungated variant returns weight 0 on every instance");
+    println!("(all weights turn negative simultaneously); Algorithm 2's layered MIS");
+    println!("gating preserves the Δ-approximation.");
+}

@@ -1,0 +1,65 @@
+//! Section 4 (Discussion): the almost-maximal independent set.
+//!
+//! The paper observes that the Section 3.1 algorithm computes, in
+//! `O(log Δ / log log Δ)` rounds, an independent set where each node
+//! remains (neither in the set nor dominated) with probability at most
+//! `2^{−log^{1−γ} Δ}` — tantalizingly close to, but not quite, a full
+//! MIS (which would need `2^{−Θ(log Δ)}`). This binary measures the
+//! leftover probability as Δ grows, for both the fixed iteration budget
+//! and double that budget, showing the gap closing slowly — the open
+//! question the paper leaves.
+//!
+//! Run with: `cargo run --release --bin discussion_almost_mis`
+
+use congest_bench::{mean, Table};
+use congest_graph::generators;
+use congest_mis::{uncovered_fraction, NearlyMaximalIs, NmisParams};
+use congest_sim::{run_protocol, SimConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const SEEDS: u64 = 8;
+
+fn leftover(delta: usize, n: usize, params: NmisParams) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(delta as u64);
+    let mut fracs = Vec::new();
+    for seed in 0..SEEDS {
+        let g = generators::random_regular(n, delta, &mut rng);
+        let outcome = run_protocol(
+            &g,
+            SimConfig::congest_for(&g),
+            |_| NearlyMaximalIs::new(params),
+            seed,
+        );
+        fracs.push(uncovered_fraction(&outcome.into_outputs()));
+    }
+    mean(&fracs)
+}
+
+fn main() {
+    println!("# Discussion (§4): almost-maximal IS leftover mass vs Δ\n");
+    let mut t = Table::new(&[
+        "Δ", "iters (budget)", "leftover frac", "iters (2× budget)", "leftover frac (2×)",
+    ]);
+    for &d in &[8usize, 16, 32, 64, 128] {
+        let n = (8 * d).max(128);
+        let base = NmisParams::accelerated(d, 0.2, 1.0);
+        let double = NmisParams {
+            k: base.k,
+            iterations: base.iterations.map(|x| 2 * x),
+        };
+        let f1 = leftover(d, n, base);
+        let f2 = leftover(d, n, double);
+        t.row(vec![
+            d.to_string(),
+            base.iterations.unwrap_or(0).to_string(),
+            format!("{f1:.4}"),
+            double.iterations.unwrap_or(0).to_string(),
+            format!("{f2:.4}"),
+        ]);
+    }
+    t.print();
+    println!("\nReading: the leftover mass decays quickly with extra budget but is");
+    println!("never structurally zero — the log log Δ gap between the almost-maximal");
+    println!("IS and a true MIS that Section 4 leaves open.");
+}

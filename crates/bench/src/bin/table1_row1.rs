@@ -1,0 +1,106 @@
+//! Table 1, row 1 — MaxIS Δ-approx / MWM 2-approx in `O(MIS(G)·log W)`
+//! rounds, randomized (Algorithm 2 / Theorem 2.3, Theorem 2.10).
+//!
+//! Sweeps `n` and `W` on random regular graphs; reports measured rounds
+//! against the `MIS(G)·log W` prediction, and approximation ratios on
+//! small instances against brute-force MWIS.
+//!
+//! Run with: `cargo run --release --bin table1_row1`
+
+use congest_approx::matching::mwm_lr_randomized;
+use congest_approx::maxis::{alg2, Alg2Config};
+use congest_bench::{logdelta_over_loglogdelta, mean, pm, Table};
+use congest_exact::{brute_force_mwis, max_weight_matching_oracle};
+use congest_graph::generators;
+use congest_mis::LubyMis;
+use congest_sim::{run_protocol, SimConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const SEEDS: u64 = 10;
+
+fn main() {
+    println!("# Table 1 row 1: randomized Δ-approx MaxIS in O(MIS(G)·log W)\n");
+
+    // --- rounds vs n and W ----------------------------------------------
+    let mut t = Table::new(&[
+        "n", "Δ", "W", "alg2 rounds", "MIS(G) rounds", "log₂W", "rounds/(MIS·logW)",
+    ]);
+    for &n in &[64usize, 256, 1024] {
+        for &w in &[1u64, 16, 256, 4096] {
+            let mut rng = SmallRng::seed_from_u64(n as u64 ^ w);
+            let mut rounds = Vec::new();
+            let mut mis_rounds = Vec::new();
+            for seed in 0..SEEDS {
+                let mut g = generators::random_regular(n, 4, &mut rng);
+                if w > 1 {
+                    generators::randomize_node_weights(&mut g, w, &mut rng);
+                }
+                let run = alg2(&g, &Alg2Config::default(), seed);
+                rounds.push(run.rounds as f64);
+                let mis =
+                    run_protocol(&g, SimConfig::congest_for(&g), |_| LubyMis::new(), seed);
+                mis_rounds.push(mis.stats.rounds as f64);
+            }
+            let logw = (w.max(2) as f64).log2();
+            let ratio = mean(&rounds) / (mean(&mis_rounds) * logw);
+            t.row(vec![
+                n.to_string(),
+                "4".into(),
+                w.to_string(),
+                pm(&rounds),
+                pm(&mis_rounds),
+                format!("{logw:.0}"),
+                format!("{ratio:.2}"),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nPrediction: the last column (rounds normalised by MIS(G)·log W) stays");
+    println!("roughly constant across the sweep — the O(MIS(G)·log W) shape.\n");
+
+    // --- approximation ratios on small graphs ---------------------------
+    let mut t2 = Table::new(&["graph", "Δ", "w(ALG)", "w(OPT)", "OPT/ALG", "bound Δ"]);
+    let mut rng = SmallRng::seed_from_u64(42);
+    for trial in 0..6 {
+        let mut g = generators::gnp(16, 0.25, &mut rng);
+        generators::randomize_node_weights(&mut g, 64, &mut rng);
+        let opt = brute_force_mwis(&g).weight(&g);
+        let run = alg2(&g, &Alg2Config::default(), trial);
+        let alg = run.independent_set.weight(&g);
+        t2.row(vec![
+            format!("gnp16 #{trial}"),
+            g.max_degree().to_string(),
+            alg.to_string(),
+            opt.to_string(),
+            format!("{:.2}", opt as f64 / alg as f64),
+            g.max_degree().to_string(),
+        ]);
+    }
+    println!("## Δ-approximation check (paper guarantee: OPT/ALG ≤ Δ)\n");
+    t2.print();
+
+    // --- 2-approx matching (Theorem 2.10, randomized row) ---------------
+    let mut t3 = Table::new(&["graph", "w(ALG)", "w(OPT)", "OPT/ALG", "bound", "line rounds"]);
+    for trial in 0..6 {
+        let mut g = generators::random_bipartite(12, 12, 0.3, &mut rng);
+        generators::randomize_edge_weights(&mut g, 256, &mut rng);
+        if g.num_edges() == 0 {
+            continue;
+        }
+        let opt = max_weight_matching_oracle(&g).expect("bipartite").weight(&g);
+        let run = mwm_lr_randomized(&g, &Alg2Config::default(), trial);
+        let alg = run.matching.weight(&g);
+        t3.row(vec![
+            format!("bip12 #{trial}"),
+            alg.to_string(),
+            opt.to_string(),
+            format!("{:.2}", opt as f64 / alg as f64),
+            "2.00".into(),
+            run.line_rounds.to_string(),
+        ]);
+    }
+    println!("\n## 2-approx MWM on L(G) (Theorem 2.10, randomized)\n");
+    t3.print();
+    let _ = logdelta_over_loglogdelta(4);
+}

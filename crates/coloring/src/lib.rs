@@ -1,0 +1,47 @@
+//! Distributed graph coloring substrate.
+//!
+//! The paper's deterministic MaxIS algorithm (Algorithm 3) first computes a
+//! `(Δ+1)`-coloring, then uses the color classes as the independent sets of
+//! the local-ratio meta-algorithm. This crate supplies the coloring:
+//!
+//! * [`LinialColoring`] — Linial's iterated color reduction \[Lin87\]:
+//!   from unique ids to `O(Δ²)` colors in `O(log* n)` rounds, via
+//!   polynomial (cover-free) set families over finite fields.
+//! * [`KwReduction`] — Kuhn–Wattenhofer style batched color reduction:
+//!   from `C` colors to `Δ+1` colors in `O((Δ+1)·log(C/(Δ+1)))` rounds.
+//! * [`SimpleReduction`] — textbook one-color-class-per-round reduction
+//!   (`C − Δ − 1` rounds), used for testing and as a baseline.
+//! * [`RandomizedColoring`] — randomized `(Δ+1)`-coloring in `O(log n)`
+//!   rounds w.h.p., an alternative black box.
+//! * [`deterministic_delta_plus_one`] — the composed pipeline
+//!   (Linial → KW), which is our stand-in for the `O(Δ + log* n)`
+//!   algorithms of \[BEK14, Bar15\] (see `DESIGN.md` §substitutions; ours
+//!   runs in `O(Δ log Δ + log* n)` rounds, preserving the
+//!   deterministic/Δ-dependence shape of the paper's Table 1 row 2).
+//!
+//! # Example
+//!
+//! ```
+//! use congest_graph::generators;
+//! use congest_coloring::{deterministic_delta_plus_one, verify_coloring};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(3);
+//! let g = generators::gnp(50, 0.15, &mut rng);
+//! let run = deterministic_delta_plus_one(&g);
+//! verify_coloring(&g, &run.colors, g.max_degree() + 1).unwrap();
+//! ```
+
+mod linial;
+mod pipeline;
+mod primes;
+mod randomized;
+mod reduce;
+mod verify;
+
+pub use linial::{linial_schedule, LinialColoring, LinialStep};
+pub use pipeline::{deterministic_delta_plus_one, ColoringRun};
+pub use primes::next_prime;
+pub use randomized::RandomizedColoring;
+pub use reduce::{KwReduction, SimpleReduction};
+pub use verify::{num_colors, verify_coloring};

@@ -1,0 +1,58 @@
+//! Tiny prime utilities for Linial's finite-field construction.
+
+/// Smallest prime `≥ n` (trial division; the primes needed by Linial's
+/// construction are small — `O(Δ · log n)` — so this is never a
+/// bottleneck).
+///
+/// # Panics
+/// Panics if the search exceeds `u64::MAX` (practically impossible).
+pub fn next_prime(n: u64) -> u64 {
+    let mut candidate = n.max(2);
+    loop {
+        if is_prime(candidate) {
+            return candidate;
+        }
+        candidate = candidate.checked_add(1).expect("prime search overflow");
+    }
+}
+
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    let mut d = 3u64;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(3), 3);
+        assert_eq!(next_prime(4), 5);
+        assert_eq!(next_prime(90), 97);
+        assert_eq!(next_prime(7919), 7919);
+        assert_eq!(next_prime(7920), 7927);
+    }
+
+    #[test]
+    fn primality() {
+        assert!(is_prime(2));
+        assert!(is_prime(97));
+        assert!(!is_prime(1));
+        assert!(!is_prime(91)); // 7 × 13
+    }
+}

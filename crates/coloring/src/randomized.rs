@@ -1,0 +1,158 @@
+//! Randomized `(Δ+1)`-coloring: each undecided node repeatedly proposes a
+//! uniformly random color from its remaining palette and keeps it unless a
+//! neighbor proposed the same color (ties broken by id) or already owns
+//! it. Terminates in `O(log n)` rounds w.h.p.
+
+use congest_sim::{bits_for_count, Context, Message, Port, Protocol, Status};
+use rand::Rng;
+
+/// Messages of [`RandomizedColoring`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RandColorMsg {
+    /// Proposal for this cycle.
+    Propose(u32),
+    /// Final color claimed; the sender has halted.
+    Final(u32),
+}
+
+impl Message for RandColorMsg {
+    fn bit_size(&self) -> usize {
+        let c = match self {
+            RandColorMsg::Propose(c) | RandColorMsg::Final(c) => *c,
+        };
+        1 + bits_for_count(c as usize + 2)
+    }
+}
+
+/// Randomized `(Δ+1)`-coloring as a CONGEST [`Protocol`]; outputs the
+/// node's final color in `[0, Δ+1)`.
+#[derive(Clone, Debug, Default)]
+pub struct RandomizedColoring {
+    /// Colors permanently claimed by neighbors.
+    taken: Vec<bool>,
+    proposal: u32,
+}
+
+impl RandomizedColoring {
+    /// Creates a fresh instance (one per node).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pick(&self, ctx: &mut Context<'_, RandColorMsg>) -> u32 {
+        let free: Vec<u32> = (0..self.taken.len() as u32)
+            .filter(|&c| !self.taken[c as usize])
+            .collect();
+        debug_assert!(
+            !free.is_empty(),
+            "palette of Δ+1 colors cannot be exhausted by ≤ Δ neighbors"
+        );
+        free[ctx.rng().random_range(0..free.len())]
+    }
+}
+
+impl Protocol for RandomizedColoring {
+    type Msg = RandColorMsg;
+    type Output = usize;
+
+    fn init(&mut self, ctx: &mut Context<'_, RandColorMsg>) {
+        self.taken = vec![false; ctx.info().max_degree + 1];
+    }
+
+    fn round(&mut self, ctx: &mut Context<'_, RandColorMsg>, inbox: &[(Port, RandColorMsg)]) -> Status<usize> {
+        if ctx.round() % 2 == 1 {
+            // Proposal phase: fold in Final claims, then propose.
+            for (_, msg) in inbox {
+                if let RandColorMsg::Final(c) = msg {
+                    self.taken[*c as usize] = true;
+                }
+            }
+            self.proposal = self.pick(ctx);
+            let p = self.proposal;
+            ctx.broadcast(RandColorMsg::Propose(p));
+            Status::Active
+        } else {
+            // Resolution phase: keep the proposal iff no *locked* neighbor
+            // claim and no equal proposal from a higher-id neighbor.
+            let mut keep = !self.taken[self.proposal as usize];
+            for (port, msg) in inbox {
+                match msg {
+                    RandColorMsg::Propose(c) if *c == self.proposal => {
+                        if ctx.neighbor(*port) > ctx.id() {
+                            keep = false;
+                        }
+                    }
+                    RandColorMsg::Final(c) => {
+                        self.taken[*c as usize] = true;
+                        if *c == self.proposal {
+                            keep = false;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if keep {
+                let p = self.proposal;
+                ctx.broadcast(RandColorMsg::Final(p));
+                Status::Halt(self.proposal as usize)
+            } else {
+                Status::Active
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_coloring;
+    use congest_graph::generators;
+    use congest_sim::{run_protocol, SimConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn colors_are_proper_within_palette() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let graphs = vec![
+            generators::path(50),
+            generators::complete(12),
+            generators::gnp(100, 0.08, &mut rng),
+            generators::star(40),
+        ];
+        for (i, g) in graphs.iter().enumerate() {
+            for seed in 0..3u64 {
+                let outcome = run_protocol(
+                    g,
+                    SimConfig::congest_for(g),
+                    |_| RandomizedColoring::new(),
+                    1000 * i as u64 + seed,
+                );
+                assert!(outcome.completed, "graph {i} seed {seed} did not converge");
+                let colors = outcome.into_outputs();
+                verify_coloring(g, &colors, g.max_degree() + 1)
+                    .unwrap_or_else(|e| panic!("graph {i} seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn converges_quickly_on_sparse_graphs() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = generators::random_regular(200, 4, &mut rng);
+        let outcome = run_protocol(&g, SimConfig::congest_for(&g), |_| RandomizedColoring::new(), 5);
+        assert!(outcome.completed);
+        assert!(
+            outcome.stats.rounds <= 2 * 30,
+            "expected O(log n) cycles, got {} rounds",
+            outcome.stats.rounds
+        );
+    }
+
+    #[test]
+    fn respects_congest_budget() {
+        let g = generators::complete(16);
+        let outcome = run_protocol(&g, SimConfig::congest_for(&g), |_| RandomizedColoring::new(), 9);
+        assert_eq!(outcome.stats.budget_violations, 0);
+    }
+}

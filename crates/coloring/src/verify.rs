@@ -1,0 +1,63 @@
+use congest_graph::Graph;
+
+/// Checks that `colors` is a proper coloring of `g` using at most
+/// `max_colors` colors (color values must lie in `[0, max_colors)`).
+///
+/// # Errors
+/// Returns a description of the first violation.
+pub fn verify_coloring(g: &Graph, colors: &[usize], max_colors: usize) -> Result<(), String> {
+    if colors.len() != g.num_nodes() {
+        return Err(format!(
+            "expected {} colors, got {}",
+            g.num_nodes(),
+            colors.len()
+        ));
+    }
+    if let Some((v, &c)) = colors.iter().enumerate().find(|&(_, &c)| c >= max_colors) {
+        return Err(format!("node v{v} has color {c} ≥ {max_colors}"));
+    }
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        if colors[u.index()] == colors[v.index()] {
+            return Err(format!(
+                "adjacent nodes {u} and {v} share color {}",
+                colors[u.index()]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Number of distinct colors used.
+pub fn num_colors(colors: &[usize]) -> usize {
+    let mut seen: Vec<usize> = colors.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    #[test]
+    fn accepts_proper_coloring() {
+        let g = generators::path(4);
+        verify_coloring(&g, &[0, 1, 0, 1], 2).unwrap();
+    }
+
+    #[test]
+    fn rejects_conflicts_and_overflow() {
+        let g = generators::path(2);
+        assert!(verify_coloring(&g, &[1, 1], 2).unwrap_err().contains("share color"));
+        assert!(verify_coloring(&g, &[0, 5], 2).unwrap_err().contains("≥ 2"));
+        assert!(verify_coloring(&g, &[0], 2).unwrap_err().contains("expected 2"));
+    }
+
+    #[test]
+    fn counts_distinct_colors() {
+        assert_eq!(num_colors(&[3, 1, 3, 7]), 3);
+        assert_eq!(num_colors(&[]), 0);
+    }
+}

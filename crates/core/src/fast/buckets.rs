@@ -1,0 +1,190 @@
+//! Appendix B.1, stage 1: Lotker-style weight bucketing \[LPSR09\].
+//!
+//! Edge weights are classified into *big buckets* — powers of a constant
+//! `β` — and each big bucket is subdivided into `O(log_{1+ε} β)` *small
+//! buckets* (powers of `1+ε`). All big buckets run **in parallel** (their
+//! edge sets are disjoint, so CONGEST capacity is shared without
+//! conflict); within a big bucket, small buckets are processed from
+//! heaviest to lightest, each running the unweighted `(2+ε)` matcher on
+//! its surviving edges and locking the matched nodes for the rest of the
+//! bucket. A final cross-bucket cleanup keeps each chosen edge only if it
+//! is the heaviest chosen edge at both endpoints. The result is an
+//! `O(1)`-approximation of maximum weight matching.
+
+use congest_graph::{EdgeId, Graph, Matching};
+use congest_mis::{nmis_iterations, NmisParams};
+
+use super::nmm::nmm_on_line_graph;
+
+/// Result of the bucketing stage.
+#[derive(Clone, Debug)]
+pub struct BucketsRun {
+    /// The `O(1)`-approximate matching.
+    pub matching: Matching,
+    /// Physical rounds: the maximum over big buckets (they run in
+    /// parallel) of the sum over small buckets, plus 1 cleanup round.
+    pub physical_rounds: usize,
+    /// Number of (big, small) bucket pairs that actually contained edges.
+    pub populated_buckets: usize,
+}
+
+/// Runs the B.1 bucketing construction with big-bucket base `β = 8`.
+///
+/// # Panics
+/// Panics if `eps ≤ 0` or any edge weight is zero.
+pub fn mwm_const_approx(g: &Graph, eps: f64, seed: u64) -> BucketsRun {
+    assert!(eps > 0.0, "ε must be positive");
+    let beta = 8.0f64;
+    let one_eps = 1.0 + eps;
+    let small_per_big = (beta.ln() / one_eps.ln()).ceil() as usize;
+
+    // Classify edges: big bucket i = ⌊log_β w⌋, small bucket j within.
+    let mut buckets: std::collections::BTreeMap<(i64, usize), Vec<EdgeId>> =
+        std::collections::BTreeMap::new();
+    for e in g.edges() {
+        let w = g.edge_weight(e);
+        assert!(w > 0, "edge weights must be positive for bucketing");
+        let big = (w as f64).ln() / beta.ln();
+        let big_i = big.floor() as i64;
+        let rem = w as f64 / beta.powi(big_i as i32);
+        let small_j = ((rem.ln() / one_eps.ln()).floor() as usize).min(small_per_big - 1);
+        buckets.entry((big_i, small_j)).or_default().push(e);
+    }
+    let populated_buckets = buckets.len();
+
+    // Per big bucket: process small buckets heaviest-first, locking nodes.
+    let mut big_ids: Vec<i64> = buckets.keys().map(|&(b, _)| b).collect();
+    big_ids.dedup();
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    let mut max_big_rounds = 0usize;
+    for (bi, &big) in big_ids.iter().enumerate() {
+        let mut locked = vec![false; g.num_nodes()];
+        let mut rounds_this_big = 0usize;
+        for small in (0..small_per_big).rev() {
+            let Some(edges) = buckets.get(&(big, small)) else {
+                continue;
+            };
+            let keep: Vec<bool> = {
+                let mut k = vec![false; g.num_edges()];
+                for &e in edges {
+                    let (u, v) = g.endpoints(e);
+                    if !locked[u.index()] && !locked[v.index()] {
+                        k[e.index()] = true;
+                    }
+                }
+                k
+            };
+            if !keep.iter().any(|&x| x) {
+                continue;
+            }
+            let (sub, edge_map) = g.edge_subgraph(&keep);
+            let delta_l = sub
+                .edges()
+                .map(|e| {
+                    let (u, v) = sub.endpoints(e);
+                    sub.degree(u) + sub.degree(v) - 2
+                })
+                .max()
+                .unwrap_or(1)
+                .max(2);
+            let params = NmisParams {
+                k: 2.0,
+                iterations: Some(nmis_iterations(delta_l, 2.0, (eps / 8.0).min(0.05), 1.5)),
+            };
+            let sub_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(1 + bi as u64 * 64 + small as u64);
+            let run = nmm_on_line_graph(&sub, &params, sub_seed);
+            rounds_this_big += run.physical_rounds;
+            for e in run.matching.edges(&sub) {
+                let orig = edge_map[e.index()];
+                let (u, v) = g.endpoints(orig);
+                locked[u.index()] = true;
+                locked[v.index()] = true;
+                chosen.push(orig);
+            }
+        }
+        max_big_rounds = max_big_rounds.max(rounds_this_big);
+    }
+
+    // Cross-bucket cleanup: keep an edge iff it is the heaviest chosen
+    // edge at both endpoints (ties by edge id).
+    let best_at = {
+        let mut best: Vec<Option<EdgeId>> = vec![None; g.num_nodes()];
+        for &e in &chosen {
+            let key = |x: EdgeId| (g.edge_weight(x), std::cmp::Reverse(x));
+            for v in [g.endpoints(e).0, g.endpoints(e).1] {
+                let slot = &mut best[v.index()];
+                if slot.is_none_or(|cur| key(e) > key(cur)) {
+                    *slot = Some(e);
+                }
+            }
+        }
+        best
+    };
+    let mut matching = Matching::new(g);
+    for &e in &chosen {
+        let (u, v) = g.endpoints(e);
+        if best_at[u.index()] == Some(e) && best_at[v.index()] == Some(e) {
+            matching.insert(g, e);
+        }
+    }
+
+    BucketsRun {
+        matching,
+        physical_rounds: max_big_rounds + 1,
+        populated_buckets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_exact::max_weight_matching_oracle;
+    use congest_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_factor_on_random_weighted_graphs() {
+        let mut rng = SmallRng::seed_from_u64(90);
+        for trial in 0..5 {
+            let mut g = generators::random_bipartite(12, 12, 0.3, &mut rng);
+            generators::randomize_edge_weights(&mut g, 1000, &mut rng);
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let opt = max_weight_matching_oracle(&g)
+                .expect("bipartite oracle")
+                .weight(&g);
+            let run = mwm_const_approx(&g, 0.25, 500 + trial);
+            assert!(run.matching.is_valid(&g));
+            let alg = run.matching.weight(&g);
+            // The theoretical constant is moderate; assert a loose factor
+            // that still catches broken bucketing.
+            assert!(
+                8 * alg >= opt,
+                "trial {trial}: alg {alg} vs opt {opt} exceeds factor 8"
+            );
+        }
+    }
+
+    #[test]
+    fn single_heavy_edge_wins() {
+        let mut b = congest_graph::GraphBuilder::with_nodes(4);
+        b.add_weighted_edge(0.into(), 1.into(), 1);
+        b.add_weighted_edge(1.into(), 2.into(), 1_000_000);
+        b.add_weighted_edge(2.into(), 3.into(), 1);
+        let g = b.build();
+        let run = mwm_const_approx(&g, 0.25, 3);
+        assert!(run.matching.weight(&g) >= 1_000_000);
+    }
+
+    #[test]
+    fn unit_weights_single_bucket() {
+        let g = generators::cycle(10);
+        let run = mwm_const_approx(&g, 0.25, 7);
+        assert_eq!(run.populated_buckets, 1);
+        assert!(run.matching.len() >= 3);
+    }
+}

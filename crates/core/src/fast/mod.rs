@@ -1,0 +1,20 @@
+//! Time-optimal matching approximations (`O(log Δ / log log Δ)` rounds).
+//!
+//! * `nmm` — Section 3.1: the improved nearly-maximal independent set
+//!   run on the line graph via the Theorem 2.8 aggregation engine,
+//!   yielding a `(2+ε)`-approximation of maximum *cardinality* matching
+//!   (Theorem 3.2).
+//! * `buckets` — Appendix B.1, stage 1: Lotker-style weight bucketing
+//!   turns the unweighted matcher into an `O(1)`-approximation of maximum
+//!   *weight* matching.
+//! * `augment3` — Appendix B.1, stage 2: `O(1/ε)` rounds of
+//!   length-≤3 auxiliary-weight augmentation \[LPSP15 §4\] sharpen the
+//!   `O(1)`-approximation to `(2+ε)`.
+
+mod augment3;
+mod buckets;
+mod nmm;
+
+pub use augment3::{mwm_two_plus_eps, Augment3Run};
+pub use buckets::{mwm_const_approx, BucketsRun};
+pub use nmm::{mcm_two_plus_eps, nmm_on_line_graph, NmmLineRun};

@@ -1,0 +1,316 @@
+//! Section 3.1: nearly-maximal matching on the line graph → `(2+ε)`-MCM.
+//!
+//! The improved nearly-maximal independent set algorithm (probabilities
+//! `p_t = K^{-j}`, effective degrees, `K`-factor adjustments — see
+//! [`congest_mis::NearlyMaximalIs`]) is a *local aggregation algorithm*:
+//! per iteration an edge needs (1) the **sum** of its line-neighbors'
+//! probabilities, (2) the **or** of their marks, and (3) the **or** of
+//! their join announcements. It therefore runs on the line graph through
+//! the Theorem 2.8 engine at 2 physical rounds and 2 messages per
+//! physical edge per iteration phase — the paper's Theorem 3.2 pipeline.
+
+use congest_graph::{Graph, Matching};
+use congest_mis::{nmis_iterations, MisResult, NmisParams};
+use congest_sim::Message;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::line::{run_aggregated, EdgeInfo, EdgeProtocol};
+
+/// Aggregate alphabet for the nearly-maximal matching protocol: a sum of
+/// probabilities, a flag, or the identity.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NmisAgg {
+    /// Identity element `ε`.
+    Empty,
+    /// Probability mass (phase 0).
+    Sum(f64),
+    /// Mark / join indicator (phases 1–2).
+    Flag(bool),
+}
+
+impl Message for NmisAgg {
+    fn bit_size(&self) -> usize {
+        match self {
+            NmisAgg::Empty => 1,
+            // Probabilities are powers of 1/K; a fixed-point exponent sum
+            // representation needs O(log Δ) bits. Charged as 32.
+            NmisAgg::Sum(_) => 32,
+            NmisAgg::Flag(_) => 2,
+        }
+    }
+}
+
+/// The per-edge protocol: one iteration = 3 line rounds
+/// (probability sums → marks → join announcements).
+#[derive(Clone, Debug)]
+struct NmisEdge {
+    k: f64,
+    max_iterations: usize,
+    /// `p = K^{-j}`.
+    j: u16,
+    marked: bool,
+    effective_degree: f64,
+    iteration: usize,
+    /// Set when this edge joins; its announcement round.
+    announce_round: Option<usize>,
+    done: bool,
+}
+
+impl NmisEdge {
+    fn new(params: &NmisParams) -> Self {
+        NmisEdge {
+            k: params.k,
+            max_iterations: params.iterations.unwrap_or(usize::MAX),
+            j: 1,
+            marked: false,
+            effective_degree: 0.0,
+            iteration: 0,
+            announce_round: None,
+            done: false,
+        }
+    }
+
+    fn p(&self) -> f64 {
+        self.k.powi(-i32::from(self.j))
+    }
+}
+
+impl EdgeProtocol for NmisEdge {
+    type Agg = NmisAgg;
+    type Output = MisResult;
+
+    fn identity() -> NmisAgg {
+        NmisAgg::Empty
+    }
+
+    fn join(a: NmisAgg, b: NmisAgg) -> NmisAgg {
+        match (a, b) {
+            (NmisAgg::Empty, x) | (x, NmisAgg::Empty) => x,
+            (NmisAgg::Sum(x), NmisAgg::Sum(y)) => NmisAgg::Sum(x + y),
+            (NmisAgg::Flag(x), NmisAgg::Flag(y)) => NmisAgg::Flag(x || y),
+            (a, b) => unreachable!("mixed aggregate phases: {a:?} vs {b:?}"),
+        }
+    }
+
+    fn contribution(&self, round: usize) -> NmisAgg {
+        if let Some(ar) = self.announce_round {
+            // One-shot join announcement, then silence.
+            return if round == ar {
+                NmisAgg::Flag(true)
+            } else {
+                NmisAgg::Empty
+            };
+        }
+        if self.done {
+            return NmisAgg::Empty;
+        }
+        match (round - 1) % 3 {
+            0 => NmisAgg::Sum(self.p()),
+            1 => NmisAgg::Flag(self.marked),
+            _ => NmisAgg::Flag(false),
+        }
+    }
+
+    fn step(
+        &mut self,
+        round: usize,
+        agg: NmisAgg,
+        rng: &mut SmallRng,
+        _info: &EdgeInfo,
+    ) -> Option<MisResult> {
+        match (round - 1) % 3 {
+            0 => {
+                self.effective_degree = match agg {
+                    NmisAgg::Sum(s) => s,
+                    NmisAgg::Empty => 0.0,
+                    other => unreachable!("phase 0 expects sums, got {other:?}"),
+                };
+                self.marked = rng.random_bool(self.p().min(1.0));
+                None
+            }
+            1 => {
+                let neighbor_marked = matches!(agg, NmisAgg::Flag(true));
+                if self.marked && !neighbor_marked {
+                    self.announce_round = Some(round + 1);
+                    self.done = true;
+                    return Some(MisResult::InSet);
+                }
+                None
+            }
+            _ => {
+                if matches!(agg, NmisAgg::Flag(true)) {
+                    self.done = true;
+                    return Some(MisResult::Dominated);
+                }
+                if self.effective_degree >= 2.0 {
+                    self.j = self.j.saturating_add(1);
+                } else {
+                    self.j = self.j.saturating_sub(1).max(1);
+                }
+                self.iteration += 1;
+                if self.iteration >= self.max_iterations {
+                    self.done = true;
+                    return Some(MisResult::Undecided);
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Result of the nearly-maximal matching on the line graph.
+#[derive(Clone, Debug)]
+pub struct NmmLineRun {
+    /// The matching (edges that joined the independent set of `L(G)`).
+    pub matching: Matching,
+    /// Per-edge results (`Undecided` = ran out of iteration budget, the
+    /// δ-probability event of Theorem 3.1).
+    pub results: Vec<MisResult>,
+    /// Line-graph rounds executed.
+    pub line_rounds: usize,
+    /// Physical CONGEST rounds (Theorem 2.8: 2 per line round).
+    pub physical_rounds: usize,
+    /// Fraction of edges left undecided.
+    pub undecided_fraction: f64,
+}
+
+/// Runs the nearly-maximal IS with parameters `params` on `L(G)` through
+/// the aggregation engine.
+///
+/// # Panics
+/// Panics if two adjacent edges both claim `InSet` (would indicate a
+/// protocol bug; the returned [`Matching`] construction enforces it).
+pub fn nmm_on_line_graph(g: &Graph, params: &NmisParams, seed: u64) -> NmmLineRun {
+    let cap = params
+        .iterations
+        .map_or(usize::MAX / 8, |it| 3 * it + 6);
+    let run = run_aggregated(g, |_| NmisEdge::new(params), seed, cap);
+    let results: Vec<MisResult> = run
+        .outputs
+        .iter()
+        .map(|o| o.unwrap_or(MisResult::Undecided))
+        .collect();
+    let mut matching = Matching::new(g);
+    for (i, r) in results.iter().enumerate() {
+        if r.is_in_set() {
+            matching.insert(g, congest_graph::EdgeId(i as u32));
+        }
+    }
+    let undecided = results.iter().filter(|r| **r == MisResult::Undecided).count();
+    let undecided_fraction = if results.is_empty() {
+        0.0
+    } else {
+        undecided as f64 / results.len() as f64
+    };
+    NmmLineRun {
+        matching,
+        results,
+        line_rounds: run.line_rounds,
+        physical_rounds: run.physical_rounds,
+        undecided_fraction,
+    }
+}
+
+/// Theorem 3.2: `(2+ε)`-approximate maximum cardinality matching in
+/// `O(log Δ / log log Δ)` rounds, by running the accelerated
+/// nearly-maximal IS (`K = Θ(log^0.1 Δ_L)`, `δ ≪ ε`) on the line graph.
+pub fn mcm_two_plus_eps(g: &Graph, eps: f64, seed: u64) -> NmmLineRun {
+    assert!(eps > 0.0, "ε must be positive");
+    let delta_l = g
+        .edges()
+        .map(|e| {
+            let (u, v) = g.endpoints(e);
+            g.degree(u) + g.degree(v) - 2
+        })
+        .max()
+        .unwrap_or(1)
+        .max(2);
+    // δ ≪ ε: the expected fraction of optimal edges left unlucky.
+    let delta_fail = (eps / 8.0).min(0.05);
+    let log_delta = (delta_l as f64).log2();
+    let k = (2.0 * log_delta.powf(0.1)).max(2.0);
+    let params = NmisParams {
+        k,
+        iterations: Some(nmis_iterations(delta_l, k, delta_fail, 1.5)),
+    };
+    nmm_on_line_graph(g, &params, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_exact::blossom_maximum_matching;
+    use congest_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matching_is_valid_and_near_maximal() {
+        let mut rng = SmallRng::seed_from_u64(80);
+        for trial in 0..3 {
+            let g = generators::gnp(40, 0.15, &mut rng);
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let run = mcm_two_plus_eps(&g, 0.25, 300 + trial);
+            assert!(run.matching.is_valid(&g));
+            assert!(
+                run.undecided_fraction <= 0.2,
+                "trial {trial}: undecided fraction {}",
+                run.undecided_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn approximation_factor_against_blossom() {
+        let mut rng = SmallRng::seed_from_u64(81);
+        for trial in 0..5 {
+            let g = generators::random_regular(60, 4, &mut rng);
+            let opt = blossom_maximum_matching(&g).len();
+            let run = mcm_two_plus_eps(&g, 0.25, 400 + trial);
+            let alg = run.matching.len();
+            assert!(
+                (2.25_f64) * alg as f64 >= opt as f64,
+                "trial {trial}: alg {alg}, opt {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_on_disjoint_edges() {
+        // A perfect matching graph (disjoint edges): the line graph has no
+        // edges, every edge should join almost immediately.
+        let mut b = congest_graph::GraphBuilder::with_nodes(10);
+        for i in 0..5u32 {
+            b.add_edge((2 * i).into(), (2 * i + 1).into());
+        }
+        let g = b.build();
+        let run = mcm_two_plus_eps(&g, 0.25, 1);
+        assert_eq!(run.matching.len(), 5);
+    }
+
+    #[test]
+    fn round_budget_is_logarithmic_in_delta() {
+        // Rounds grow like log Δ / log log Δ × K² log 1/δ — far below Δ
+        // for large Δ.
+        let mut rng = SmallRng::seed_from_u64(82);
+        let g = generators::random_regular(256, 32, &mut rng);
+        let run = mcm_two_plus_eps(&g, 0.25, 9);
+        assert!(
+            run.physical_rounds < 2_000,
+            "rounds {} look non-logarithmic",
+            run.physical_rounds
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut rng = SmallRng::seed_from_u64(83);
+        let g = generators::gnp(30, 0.2, &mut rng);
+        let a = mcm_two_plus_eps(&g, 0.5, 77);
+        let b = mcm_two_plus_eps(&g, 0.5, 77);
+        assert_eq!(a.results, b.results);
+    }
+}

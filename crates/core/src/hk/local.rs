@@ -1,0 +1,183 @@
+//! Appendix B.2: `(1+ε)`-approximate MCM in the LOCAL model.
+//!
+//! For each odd length `ℓ = 1, 3, …, 2⌈1/ε⌉+1`: enumerate the augmenting
+//! paths of length `ℓ` among *active* nodes, view them as hyperedges of a
+//! rank-`(ℓ+1)` hypergraph over the graph's nodes, compute a
+//! nearly-maximal hypergraph matching
+//! ([`congest_hypergraph::nearly_maximal_matching`]) — whose good-round
+//! accounting deactivates each node with probability ≤ δ — and flip every
+//! matched path. Lemma B.3 guarantees that afterwards no length-`ℓ`
+//! augmenting path survives among active nodes, so by \[HK73\] the final
+//! matching is a `(1+ε/2)`-approximation on the active subgraph and a
+//! `(1+ε)`-approximation overall for δ = Θ(ε²).
+
+use congest_graph::{Graph, Matching};
+use congest_hypergraph::{nearly_maximal_matching, Hypergraph, NmmParams};
+use congest_sim::rng::phase_seed;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use super::paths::enumerate_augmenting_paths;
+
+/// Per-phase statistics.
+#[derive(Clone, Debug)]
+pub struct PhaseStat {
+    /// Augmenting-path length of this phase.
+    pub length: usize,
+    /// Paths enumerated.
+    pub paths: usize,
+    /// Paths flipped.
+    pub flipped: usize,
+    /// Nodes deactivated in this phase.
+    pub deactivated: usize,
+    /// Hypergraph-matching iterations executed.
+    pub iterations: usize,
+}
+
+/// Result of the LOCAL `(1+ε)` algorithm.
+#[derive(Clone, Debug)]
+pub struct LocalHkRun {
+    /// The `(1+ε)`-approximate matching.
+    pub matching: Matching,
+    /// Per-phase statistics.
+    pub phases: Vec<PhaseStat>,
+    /// Fraction of nodes deactivated across all phases.
+    pub deactivated_fraction: f64,
+    /// LOCAL-model round estimate: each hypergraph iteration of a
+    /// length-`ℓ` phase is `O(ℓ)` rounds on the base graph.
+    pub local_rounds_estimate: usize,
+}
+
+/// Runs the Appendix-B.2 algorithm.
+///
+/// `cap` bounds the number of enumerated paths per phase (the `Δ^ℓ`
+/// blow-up is real; callers with large `Δ·1/ε` should keep it moderate).
+///
+/// # Panics
+/// Panics if `eps ≤ 0`.
+pub fn mcm_one_plus_eps_local(g: &Graph, eps: f64, seed: u64) -> LocalHkRun {
+    assert!(eps > 0.0, "ε must be positive");
+    let l_max = 2 * (1.0 / eps).ceil() as usize + 1;
+    let delta_fail = (eps * eps / 4.0).clamp(1e-4, 0.45);
+    let cap = 2_000_000 / l_max.max(1);
+
+    let mut matching = Matching::new(g);
+    let mut active = vec![true; g.num_nodes()];
+    let mut phases = Vec::new();
+    let mut local_rounds_estimate = 0;
+    let mut total_deactivated = 0usize;
+
+    for (phase_idx, len) in (1..=l_max).step_by(2).enumerate() {
+        let paths = enumerate_augmenting_paths(g, &matching, &active, len, cap);
+        if paths.is_empty() {
+            phases.push(PhaseStat {
+                length: len,
+                paths: 0,
+                flipped: 0,
+                deactivated: 0,
+                iterations: 0,
+            });
+            continue;
+        }
+        let hyperedges: Vec<Vec<congest_graph::NodeId>> = paths.iter().cloned().collect();
+        let h = Hypergraph::new(g.num_nodes(), hyperedges);
+        let params = NmmParams::default_for(&h, delta_fail);
+        let mut rng = SmallRng::seed_from_u64(phase_seed(seed, phase_idx as u64));
+        let outcome = nearly_maximal_matching(&h, &params, &mut rng);
+
+        // Flip the matched (vertex-disjoint) paths.
+        for &he in &outcome.matching {
+            matching.augment(g, &paths[he.index()]);
+        }
+        // Deactivate the failed nodes.
+        let mut deact = 0;
+        for (v, &dead) in outcome.deactivated.iter().enumerate() {
+            if dead && active[v] {
+                active[v] = false;
+                deact += 1;
+            }
+        }
+        total_deactivated += deact;
+        local_rounds_estimate += outcome.iterations * (len + 2);
+        phases.push(PhaseStat {
+            length: len,
+            paths: paths.len(),
+            flipped: outcome.matching.len(),
+            deactivated: deact,
+            iterations: outcome.iterations,
+        });
+    }
+
+    LocalHkRun {
+        matching,
+        phases,
+        deactivated_fraction: if g.num_nodes() == 0 {
+            0.0
+        } else {
+            total_deactivated as f64 / g.num_nodes() as f64
+        },
+        local_rounds_estimate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_exact::blossom_maximum_matching;
+    use congest_graph::generators;
+
+    #[test]
+    fn one_plus_eps_against_blossom() {
+        let mut rng = SmallRng::seed_from_u64(120);
+        let eps = 0.34; // ℓ_max = 7
+        for trial in 0..5 {
+            let g = generators::random_regular(40, 3, &mut rng);
+            let opt = blossom_maximum_matching(&g).len() as f64;
+            let run = mcm_one_plus_eps_local(&g, eps, 600 + trial);
+            assert!(run.matching.is_valid(&g));
+            let alg = run.matching.len() as f64;
+            // (1+ε) plus slack for the δ-deactivations on small n.
+            assert!(
+                (1.0 + eps + 0.15) * alg >= opt,
+                "trial {trial}: alg {alg} opt {opt} (deact {:.3})",
+                run.deactivated_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_matching_on_even_cycle() {
+        let g = generators::cycle(10);
+        let run = mcm_one_plus_eps_local(&g, 0.34, 3);
+        assert!(run.matching.len() >= 4, "C10: found {}", run.matching.len());
+    }
+
+    #[test]
+    fn phases_progress_in_length() {
+        let mut rng = SmallRng::seed_from_u64(121);
+        let g = generators::gnp(30, 0.1, &mut rng);
+        let run = mcm_one_plus_eps_local(&g, 0.5, 7);
+        let lengths: Vec<usize> = run.phases.iter().map(|p| p.length).collect();
+        assert_eq!(lengths, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn deactivation_stays_small() {
+        let mut rng = SmallRng::seed_from_u64(122);
+        let g = generators::random_regular(60, 4, &mut rng);
+        let run = mcm_one_plus_eps_local(&g, 0.34, 9);
+        assert!(
+            run.deactivated_fraction <= 0.2,
+            "deactivated {:.3}",
+            run.deactivated_fraction
+        );
+    }
+
+    #[test]
+    fn tighter_eps_means_more_phases() {
+        let g = generators::path(20);
+        let loose = mcm_one_plus_eps_local(&g, 1.0, 1);
+        let tight = mcm_one_plus_eps_local(&g, 0.25, 1);
+        assert!(tight.phases.len() > loose.phases.len());
+    }
+}

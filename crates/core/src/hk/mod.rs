@@ -1,0 +1,33 @@
+//! `(1+ε)`-approximate maximum cardinality matching via the
+//! Hopcroft–Karp framework (Appendices B.2–B.3).
+//!
+//! The classical facts \[HK73\] behind both algorithms:
+//! 1. `M` is a `(1+ε)`-approximation iff it admits no augmenting path of
+//!    length `≤ 2⌈1/ε⌉ + 1`;
+//! 2. augmenting with a *maximal* set of vertex-disjoint shortest
+//!    augmenting paths strictly increases the shortest augmenting-path
+//!    length.
+//!
+//! * [`paths`] — augmenting-path enumeration and flipping utilities.
+//! * [`local`] — Appendix B.2 (LOCAL model): phase `ℓ = 1, 3, …` finds a
+//!   nearly-maximal set of vertex-disjoint length-`ℓ` paths as a
+//!   nearly-maximal matching in the rank-`ℓ+1` hypergraph of paths
+//!   ([`congest_hypergraph`]), deactivating the δ-fraction of failed
+//!   nodes.
+//! * [`bipartite`] — Appendix B.3's building blocks in bipartite graphs:
+//!   the forward/backward traversal that counts shortest augmenting paths
+//!   (Figure 1, Claims B.5/B.6), its attenuated probability version, and
+//!   the collision-killing token walk that marks a near-maximal disjoint
+//!   path set without materializing the conflict graph.
+//! * [`congest`] — Appendix B.3's staged driver: `2^{O(1/ε)}` random
+//!   bipartitions, each solved with the bipartite machinery.
+
+pub mod bipartite;
+pub mod congest;
+pub mod local;
+pub mod paths;
+
+pub use bipartite::{attenuated_sums, count_paths, token_marking, Traversal};
+pub use congest::{mcm_one_plus_eps_congest, CongestHkRun};
+pub use local::{mcm_one_plus_eps_local, LocalHkRun, PhaseStat};
+pub use paths::enumerate_augmenting_paths;

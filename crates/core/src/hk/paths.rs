@@ -1,0 +1,156 @@
+//! Augmenting-path enumeration (the explicit-conflict-graph route of
+//! Appendix B.2, feasible in LOCAL for constant path length).
+
+use congest_graph::{Graph, Matching, NodeId};
+
+/// Enumerates all augmenting paths of length exactly `len` (odd number of
+/// edges) for `m`, using only nodes with `active[v] == true`.
+///
+/// Paths are returned as node sequences `v₀ … v_len` with both endpoints
+/// free; each path appears once (canonical direction: smaller endpoint id
+/// first). Enumeration stops at `cap` paths to bound the `Δ^ℓ` blow-up.
+///
+/// # Panics
+/// Panics if `len` is even.
+pub fn enumerate_augmenting_paths(
+    g: &Graph,
+    m: &Matching,
+    active: &[bool],
+    len: usize,
+    cap: usize,
+) -> Vec<Vec<NodeId>> {
+    assert!(len % 2 == 1, "augmenting paths have odd length");
+    let mut out = Vec::new();
+    let mut on_path = vec![false; g.num_nodes()];
+    for start in g.nodes() {
+        if out.len() >= cap {
+            break;
+        }
+        if !active[start.index()] || m.is_matched(start) {
+            continue;
+        }
+        let mut path = vec![start];
+        on_path[start.index()] = true;
+        dfs(g, m, active, len, cap, &mut path, &mut on_path, &mut out);
+        on_path[start.index()] = false;
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    g: &Graph,
+    m: &Matching,
+    active: &[bool],
+    len: usize,
+    cap: usize,
+    path: &mut Vec<NodeId>,
+    on_path: &mut [bool],
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    let depth = path.len() - 1; // edges so far
+    let v = *path.last().expect("path non-empty");
+    if depth == len {
+        let start = path[0];
+        if !m.is_matched(v) && start < v {
+            out.push(path.clone());
+        }
+        return;
+    }
+    let need_matched = depth % 2 == 1;
+    for &(u, e) in g.neighbors(v) {
+        if !active[u.index()] || on_path[u.index()] {
+            continue;
+        }
+        let edge_matched = m.contains(g, e);
+        if edge_matched != need_matched {
+            continue;
+        }
+        // Intermediate nodes must be matched (alternation forces it);
+        // the final node must be free — checked at depth == len.
+        if depth + 1 < len && !m.is_matched(u) {
+            // An unmatched node before the end would close a shorter
+            // augmenting path; skip (it is not a length-`len` path).
+            continue;
+        }
+        path.push(u);
+        on_path[u.index()] = true;
+        dfs(g, m, active, len, cap, path, on_path, out);
+        on_path[u.index()] = false;
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    #[test]
+    fn free_edges_are_length_one_paths() {
+        let g = generators::path(4);
+        let m = Matching::new(&g);
+        let active = vec![true; 4];
+        let paths = enumerate_augmenting_paths(&g, &m, &active, 1, 100);
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn length_three_on_path_graph() {
+        // 0-1-2-3 with 1-2 matched: unique augmenting path 0-1-2-3.
+        let g = generators::path(4);
+        let e12 = g.find_edge(1.into(), 2.into()).unwrap();
+        let m = Matching::from_edges(&g, [e12]);
+        let active = vec![true; 4];
+        assert!(enumerate_augmenting_paths(&g, &m, &active, 1, 100).is_empty());
+        let p3 = enumerate_augmenting_paths(&g, &m, &active, 3, 100);
+        assert_eq!(p3.len(), 1);
+        assert_eq!(p3[0], vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn canonical_direction_dedupes() {
+        // C6 with one matched edge: each augmenting path appears once.
+        let g = generators::cycle(6);
+        let e = g.find_edge(1.into(), 2.into()).unwrap();
+        let m = Matching::from_edges(&g, [e]);
+        let active = vec![true; 6];
+        let p3 = enumerate_augmenting_paths(&g, &m, &active, 3, 100);
+        assert_eq!(p3.len(), 1);
+        assert_eq!(p3[0], vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn inactive_nodes_excluded() {
+        let g = generators::path(2);
+        let m = Matching::new(&g);
+        let paths = enumerate_augmenting_paths(&g, &m, &[true, false], 1, 100);
+        assert!(paths.is_empty());
+    }
+
+    #[test]
+    fn flipping_enumerated_path_grows_matching() {
+        let g = generators::path(6);
+        let e12 = g.find_edge(1.into(), 2.into()).unwrap();
+        let e34 = g.find_edge(3.into(), 4.into()).unwrap();
+        let mut m = Matching::from_edges(&g, [e12, e34]);
+        let active = vec![true; 6];
+        let p5 = enumerate_augmenting_paths(&g, &m, &active, 5, 100);
+        assert_eq!(p5.len(), 1);
+        m.augment(&g, &p5[0]);
+        assert_eq!(m.len(), 3);
+        assert!(m.is_perfect(&g));
+    }
+
+    #[test]
+    fn cap_limits_output() {
+        let g = generators::complete_bipartite(5, 5);
+        let m = Matching::new(&g);
+        let active = vec![true; 10];
+        let paths = enumerate_augmenting_paths(&g, &m, &active, 1, 7);
+        assert_eq!(paths.len(), 7);
+    }
+}

@@ -1,0 +1,43 @@
+//! # congest-approx
+//!
+//! A Rust reproduction of **"Distributed Approximation of Maximum
+//! Independent Set and Maximum Matching"** (Bar-Yehuda, Censor-Hillel,
+//! Ghaffari, Schwartzman — PODC 2017), on top of a deterministic
+//! CONGEST-model simulator.
+//!
+//! The paper's results, and where they live here:
+//!
+//! | Result (Table 1) | Module |
+//! |---|---|
+//! | Δ-approx MaxIS in `O(MIS(G)·log W)` rounds, randomized (Alg. 2) | [`maxis::alg2`] |
+//! | Δ-approx MaxIS in `O(Δ + log* n)` rounds, deterministic (Alg. 3) | [`maxis::alg3`] |
+//! | 2-approx MWM on the line graph without congestion overhead (Thms 2.8–2.10) | [`matching`], [`mod@line`] |
+//! | (2+ε)-approx matching in `O(log Δ / log log Δ)` rounds (§3.1, B.1) | [`fast`] |
+//! | (1+ε)-approx MCM in `O(log Δ / log log Δ)` rounds (B.2, B.3) | [`hk`] |
+//! | Alternative (2+ε) proposal algorithm (B.4) | [`proposal`] |
+//!
+//! Sequential reference implementations (Algorithm 1, the local-ratio
+//! meta-algorithm) and solution verifiers live in [`maxis`] as well.
+//!
+//! # Quick start
+//!
+//! ```
+//! use congest_approx::maxis::{alg2, Alg2Config};
+//! use congest_graph::generators;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let mut g = generators::gnp(60, 0.1, &mut rng);
+//! generators::randomize_node_weights(&mut g, 64, &mut rng);
+//!
+//! let run = alg2(&g, &Alg2Config::default(), 42);
+//! assert!(run.independent_set.is_independent(&g));
+//! ```
+
+pub mod fast;
+pub mod hk;
+pub mod line;
+pub mod matching;
+pub mod maxis;
+pub mod proposal;
+pub mod weights;

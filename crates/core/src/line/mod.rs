@@ -1,0 +1,91 @@
+//! Running algorithms on the line graph `L(G)` (Section 2.4).
+//!
+//! A matching in `G` is an independent set in `L(G)`, so the paper's
+//! MaxIS machinery yields matchings by "running on the line graph", with
+//! each edge simulated by one of its endpoints \[Kuh05\]. Done naively in
+//! CONGEST this costs a `Θ(Δ)` congestion factor: a node must relay the
+//! messages of all its incident edges over single physical links.
+//!
+//! Theorem 2.8 removes the overhead for **local aggregation algorithms**
+//! (Definitions 2.4–2.7): algorithms that read their line-graph
+//! neighborhood only through order-invariant *aggregate functions* `f`
+//! with a joining function `φ` (`f(X₁ ∪ X₂) = φ(f(X₁), f(X₂))`). For an
+//! edge `e = {u, v}`, its line-graph neighbors split into the edges at `u`
+//! and the edges at `v`; each endpoint aggregates its side locally (zero
+//! communication) and one `φ`-join crosses the edge — `O(1)` messages per
+//! physical edge per round.
+//!
+//! * [`aggregate`] — the [`aggregate::EdgeProtocol`] trait
+//!   (contribution/join = the paper's `f`/`φ`) and the congestion-free
+//!   engine implementing Theorem 2.8's primary/secondary simulation.
+//! * [`naive`] — the same protocols run as ordinary node protocols on an
+//!   explicitly constructed `L(G)` (the \[Kuh05\] reduction), plus the
+//!   per-physical-edge congestion accounting that quantifies the `Θ(Δ)`
+//!   penalty (ablation A2). Identical seeds give identical outputs in
+//!   both engines — the equivalence test for Theorem 2.8.
+
+pub mod aggregate;
+pub mod naive;
+
+pub use aggregate::{run_aggregated, AggregatedRun, EdgeProtocol};
+pub use naive::{naive_congestion, run_on_explicit_line_graph, CongestionReport, NaiveLineRun};
+
+use congest_graph::{EdgeId, Graph, NodeId};
+
+/// Static information available to an edge (line-graph node) protocol:
+/// everything both endpoints know after one exchange.
+#[derive(Clone, Debug)]
+pub struct EdgeInfo {
+    /// The edge's id in `G` (== its node id in `L(G)`).
+    pub edge: EdgeId,
+    /// Endpoints `(u, v)`, `u < v`. By convention `u` is the *primary*
+    /// (simulating) endpoint, `v` the secondary.
+    pub endpoints: (NodeId, NodeId),
+    /// Weight of the edge (the node weight in `L(G)`).
+    pub weight: u64,
+    /// Degree in `L(G)`: `deg(u) + deg(v) − 2`.
+    pub line_degree: usize,
+    /// Number of edges `m` of `G` (nodes of `L(G)`).
+    pub num_edges: usize,
+    /// Maximum line-graph degree `Δ_L ≤ 2Δ − 2`.
+    pub max_line_degree: usize,
+    /// Maximum edge weight in `G`.
+    pub max_weight: u64,
+}
+
+/// Builds the [`EdgeInfo`] table for a graph.
+pub fn edge_infos(g: &Graph) -> Vec<EdgeInfo> {
+    let line_deg = |e: EdgeId| {
+        let (u, v) = g.endpoints(e);
+        g.degree(u) + g.degree(v) - 2
+    };
+    let max_line_degree = g.edges().map(line_deg).max().unwrap_or(0);
+    g.edges()
+        .map(|e| EdgeInfo {
+            edge: e,
+            endpoints: g.endpoints(e),
+            weight: g.edge_weight(e),
+            line_degree: line_deg(e),
+            num_edges: g.num_edges(),
+            max_line_degree,
+            max_weight: g.max_edge_weight(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    #[test]
+    fn edge_info_matches_line_graph() {
+        let g = generators::star(5);
+        let infos = edge_infos(&g);
+        let (lg, _) = g.line_graph();
+        for info in &infos {
+            assert_eq!(info.line_degree, lg.degree(NodeId(info.edge.0)));
+        }
+        assert_eq!(infos[0].max_line_degree, 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! Ablation A3: the *broken* fully-parallel local-ratio variant from the
+//! paper's introduction.
+//!
+//! If every node performs its closed-neighborhood weight reduction
+//! simultaneously (no independent set gating the reducers), then on a star
+//! whose center outweighs each leaf but not their sum, *every* weight goes
+//! negative in one step and nothing is selected. This module implements
+//! that variant verbatim so the benchmark harness can demonstrate the
+//! failure the MIS/coloring gating exists to prevent.
+
+use congest_graph::{Graph, IndependentSet, NodeId};
+
+/// Runs the ungated parallel local-ratio reduction until no positive
+/// weights remain; returns the (often empty or tiny) selected set and the
+/// number of iterations.
+///
+/// Per the meta-algorithm's rule, a node becomes a stack candidate only if
+/// its own reduction leaves it at exactly zero — which under simultaneous
+/// reduction requires having no live neighbors at all.
+pub fn naive_parallel_lr(g: &Graph) -> (IndependentSet, usize) {
+    let n = g.num_nodes();
+    let mut w: Vec<i64> = g.node_weights().iter().map(|&x| x as i64).collect();
+    let mut alive: Vec<bool> = w.iter().map(|&x| x > 0).collect();
+    let mut levels: Vec<Vec<NodeId>> = Vec::new();
+    let mut iterations = 0;
+
+    while alive.iter().any(|&a| a) {
+        iterations += 1;
+        let snapshot = w.clone();
+        let live: Vec<usize> = (0..n).filter(|&v| alive[v]).collect();
+        // Everyone reduces its own closed neighborhood simultaneously.
+        for &v in &live {
+            w[v] -= snapshot[v];
+            for &(u, _) in g.neighbors(NodeId(v as u32)) {
+                if alive[u.index()] {
+                    w[u.index()] -= snapshot[v];
+                }
+            }
+        }
+        let mut level = Vec::new();
+        for &v in &live {
+            alive[v] = false;
+            if w[v] == 0 {
+                // Only nodes untouched by any neighbor survive as candidates.
+                level.push(NodeId(v as u32));
+            }
+        }
+        levels.push(level);
+    }
+
+    let mut solution = IndependentSet::new(g);
+    for level in levels.iter().rev() {
+        for &u in level {
+            let blocked = g.neighbors(u).iter().any(|&(v, _)| solution.contains(v));
+            if !blocked {
+                solution.insert(u);
+            }
+        }
+    }
+    (solution, iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    #[test]
+    fn star_failure_case() {
+        // Center 8, five leaves of 3: center > each leaf, center < sum.
+        let mut g = generators::star(6);
+        g.set_node_weight(NodeId(0), 8);
+        for leaf in 1..6u32 {
+            g.set_node_weight(NodeId(leaf), 3);
+        }
+        let (set, iters) = naive_parallel_lr(&g);
+        assert!(set.is_empty(), "the paper's star example must select nothing");
+        assert_eq!(iters, 1);
+    }
+
+    #[test]
+    fn isolated_nodes_still_selected() {
+        let g = congest_graph::GraphBuilder::with_nodes(3).build();
+        let (set, _) = naive_parallel_lr(&g);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn connected_graphs_lose_everything() {
+        let g = generators::cycle(8);
+        let (set, _) = naive_parallel_lr(&g);
+        assert!(set.is_empty());
+    }
+}

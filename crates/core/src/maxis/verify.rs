@@ -1,0 +1,52 @@
+//! Solution checking and approximation-ratio accounting.
+
+use congest_graph::{Graph, IndependentSet};
+
+/// Checks independence of `set` in `g`.
+///
+/// # Errors
+/// Returns the first violating edge, formatted.
+pub fn check_independent(g: &Graph, set: &IndependentSet) -> Result<(), String> {
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        if set.contains(u) && set.contains(v) {
+            return Err(format!("adjacent nodes {u}, {v} both selected"));
+        }
+    }
+    Ok(())
+}
+
+/// `OPT / ALG` ratio (`≥ 1` for maximization when OPT is optimal; `NaN`
+/// when both are 0).
+pub fn approx_ratio(alg_weight: u64, opt_weight: u64) -> f64 {
+    opt_weight as f64 / alg_weight as f64
+}
+
+/// Whether the paper's guarantee `w(OPT) ≤ Δ · w(ALG)` holds.
+pub fn delta_bound_satisfied(g: &Graph, alg_weight: u64, opt_weight: u64) -> bool {
+    let delta = g.max_degree().max(1) as u64;
+    delta * alg_weight >= opt_weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    #[test]
+    fn independence_check() {
+        let g = generators::path(3);
+        let good = IndependentSet::from_members(&g, [0.into(), 2.into()]);
+        assert!(check_independent(&g, &good).is_ok());
+        let bad = IndependentSet::from_members(&g, [0.into(), 1.into()]);
+        assert!(check_independent(&g, &bad).is_err());
+    }
+
+    #[test]
+    fn ratio_and_bound() {
+        let g = generators::star(5); // Δ = 4
+        assert!((approx_ratio(2, 6) - 3.0).abs() < 1e-12);
+        assert!(delta_bound_satisfied(&g, 2, 8));
+        assert!(!delta_bound_satisfied(&g, 1, 5));
+    }
+}

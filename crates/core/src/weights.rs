@@ -1,0 +1,97 @@
+//! Weight layering (Section 2.2): layer `L_i = {v | 2^{i-1} < w(v) ≤ 2^i}`.
+//!
+//! The distributed MaxIS algorithm prioritizes nodes by layer; every MIS
+//! pass empties the topmost layer (each top node either joins the MIS and
+//! drops to weight 0, or is reduced by an MIS neighbor whose weight is at
+//! least half its own), giving the `log W` factor of Theorem 2.3.
+
+/// Layer index `⌈log₂ w⌉` of a positive weight (`layer_of(1) = 0`).
+///
+/// # Panics
+/// Panics if `w == 0`; zero/negative weights mean the node has left the
+/// local-ratio graph and has no layer.
+///
+/// # Example
+///
+/// ```
+/// use congest_approx::weights::layer_of;
+/// assert_eq!(layer_of(1), 0);
+/// assert_eq!(layer_of(2), 1);
+/// assert_eq!(layer_of(3), 2);
+/// assert_eq!(layer_of(4), 2);
+/// assert_eq!(layer_of(5), 3);
+/// ```
+pub fn layer_of(w: u64) -> u32 {
+    assert!(w > 0, "layers are defined for positive weights only");
+    if w == 1 {
+        0
+    } else {
+        64 - (w - 1).leading_zeros()
+    }
+}
+
+/// Layer of a possibly non-positive running weight: `None` once the node
+/// has been reduced out of the graph.
+pub fn layer_of_signed(w: i64) -> Option<u32> {
+    if w <= 0 {
+        None
+    } else {
+        Some(layer_of(w as u64))
+    }
+}
+
+/// Number of layers needed for weights in `[1, max_weight]` —
+/// `⌈log₂ W⌉ + 1`, the `log W` of the round bounds.
+pub fn num_layers(max_weight: u64) -> u32 {
+    layer_of(max_weight.max(1)) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_boundaries() {
+        // L_i = (2^{i-1}, 2^i]: check boundaries for i = 1..=5.
+        for i in 1..=5u32 {
+            let lo = 1u64 << (i - 1);
+            let hi = 1u64 << i;
+            assert_eq!(layer_of(lo + 1), i, "2^{}+1", i - 1);
+            assert_eq!(layer_of(hi), i, "2^{i}");
+            assert_eq!(layer_of(lo), i - 1, "2^{}", i - 1);
+        }
+    }
+
+    #[test]
+    fn halving_drops_a_layer() {
+        // The Lemma A.1 step: reducing a top-layer weight by at least half
+        // of itself moves it strictly below its layer.
+        for w in 2..200u64 {
+            let l = layer_of(w);
+            let reduced = w - w.div_ceil(2);
+            if reduced > 0 {
+                assert!(layer_of(reduced) < l, "w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_layers() {
+        assert_eq!(layer_of_signed(-3), None);
+        assert_eq!(layer_of_signed(0), None);
+        assert_eq!(layer_of_signed(6), Some(3));
+    }
+
+    #[test]
+    fn layer_count() {
+        assert_eq!(num_layers(1), 1);
+        assert_eq!(num_layers(2), 2);
+        assert_eq!(num_layers(1024), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_panics() {
+        layer_of(0);
+    }
+}

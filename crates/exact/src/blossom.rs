@@ -1,0 +1,273 @@
+//! Edmonds' blossom algorithm for maximum cardinality matching in general
+//! graphs \[Edm65\]. Classic `O(n³)` formulation with blossom contraction
+//! via base pointers.
+
+use congest_graph::{Graph, Matching, NodeId};
+
+const NONE: usize = usize::MAX;
+
+struct Blossom<'g> {
+    g: &'g Graph,
+    /// `mate[v]` = matched partner of `v`, or `NONE`.
+    mate: Vec<usize>,
+    /// `parent[v]` = BFS tree parent (an "odd" node) of even node `v`.
+    parent: Vec<usize>,
+    /// `base[v]` = base vertex of the blossom currently containing `v`.
+    base: Vec<usize>,
+    queue: std::collections::VecDeque<usize>,
+    in_queue: Vec<bool>,
+    in_blossom: Vec<bool>,
+}
+
+impl<'g> Blossom<'g> {
+    fn new(g: &'g Graph) -> Self {
+        let n = g.num_nodes();
+        Blossom {
+            g,
+            mate: vec![NONE; n],
+            parent: vec![NONE; n],
+            base: (0..n).collect(),
+            queue: std::collections::VecDeque::new(),
+            in_queue: vec![false; n],
+            in_blossom: vec![false; n],
+        }
+    }
+
+    fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.g
+            .neighbors(NodeId(v as u32))
+            .iter()
+            .map(|&(u, _)| u.index())
+    }
+
+    /// Lowest common ancestor of `a` and `b` in the alternating tree,
+    /// walking bases upward.
+    fn lca(&self, mut a: usize, mut b: usize) -> usize {
+        let n = self.g.num_nodes();
+        let mut used = vec![false; n];
+        loop {
+            a = self.base[a];
+            used[a] = true;
+            if self.mate[a] == NONE {
+                break;
+            }
+            a = self.parent[self.mate[a]];
+        }
+        loop {
+            b = self.base[b];
+            if used[b] {
+                return b;
+            }
+            b = self.parent[self.mate[b]];
+        }
+    }
+
+    /// Marks the blossom path from `v` down to base `b`, re-rooting
+    /// parents towards `child`.
+    fn mark_path(&mut self, mut v: usize, b: usize, mut child: usize) {
+        while self.base[v] != b {
+            let mv = self.mate[v];
+            self.in_blossom[self.base[v]] = true;
+            self.in_blossom[self.base[mv]] = true;
+            self.parent[v] = child;
+            child = mv;
+            v = self.parent[mv];
+        }
+    }
+
+    fn contract(&mut self, u: usize, v: usize) {
+        let n = self.g.num_nodes();
+        self.in_blossom = vec![false; n];
+        let b = self.lca(u, v);
+        self.mark_path(u, b, v);
+        self.mark_path(v, b, u);
+        for i in 0..n {
+            if self.in_blossom[self.base[i]] {
+                self.base[i] = b;
+                if !self.in_queue[i] {
+                    self.in_queue[i] = true;
+                    self.queue.push_back(i);
+                }
+            }
+        }
+    }
+
+    /// BFS from exposed `root`; returns the far end of an augmenting path
+    /// if one is found.
+    fn find_augmenting_path(&mut self, root: usize) -> usize {
+        let n = self.g.num_nodes();
+        self.parent = vec![NONE; n];
+        self.base = (0..n).collect();
+        self.in_queue = vec![false; n];
+        self.queue.clear();
+        self.queue.push_back(root);
+        self.in_queue[root] = true;
+
+        while let Some(v) = self.queue.pop_front() {
+            let nbrs: Vec<usize> = self.neighbors(v).collect();
+            for to in nbrs {
+                if self.base[v] == self.base[to] || self.mate[v] == to {
+                    continue;
+                }
+                if to == root || (self.mate[to] != NONE && self.parent[self.mate[to]] != NONE) {
+                    // Odd cycle: contract the blossom.
+                    self.contract(v, to);
+                } else if self.parent[to] == NONE {
+                    self.parent[to] = v;
+                    if self.mate[to] == NONE {
+                        return to; // augmenting path found
+                    }
+                    let m = self.mate[to];
+                    if !self.in_queue[m] {
+                        self.in_queue[m] = true;
+                        self.queue.push_back(m);
+                    }
+                }
+            }
+        }
+        NONE
+    }
+
+    /// Flips the found augmenting path ending at `v`.
+    fn augment(&mut self, mut v: usize) {
+        while v != NONE {
+            let pv = self.parent[v];
+            let ppv = self.mate[pv];
+            self.mate[v] = pv;
+            self.mate[pv] = v;
+            v = ppv;
+        }
+    }
+
+    fn solve(mut self) -> Vec<usize> {
+        let n = self.g.num_nodes();
+        // Greedy warm start halves the number of BFS phases in practice.
+        for v in 0..n {
+            if self.mate[v] == NONE {
+                let partner = self.neighbors(v).find(|&u| self.mate[u] == NONE);
+                if let Some(u) = partner {
+                    self.mate[v] = u;
+                    self.mate[u] = v;
+                }
+            }
+        }
+        for v in 0..n {
+            if self.mate[v] == NONE {
+                let end = self.find_augmenting_path(v);
+                if end != NONE {
+                    self.augment(end);
+                }
+            }
+        }
+        self.mate
+    }
+}
+
+/// Exact maximum cardinality matching via Edmonds' blossom algorithm.
+///
+/// Edge weights are ignored; the result maximizes the *number* of edges.
+///
+/// # Example
+///
+/// ```
+/// use congest_graph::generators;
+/// use congest_exact::blossom_maximum_matching;
+///
+/// // An odd cycle has a maximum matching of ⌊n/2⌋ — finding it requires
+/// // handling the blossom.
+/// let g = generators::cycle(7);
+/// assert_eq!(blossom_maximum_matching(&g).len(), 3);
+/// ```
+pub fn blossom_maximum_matching(g: &Graph) -> Matching {
+    let mate = Blossom::new(g).solve();
+    let mut m = Matching::new(g);
+    for v in 0..g.num_nodes() {
+        let u = mate[v];
+        if u != NONE && v < u {
+            let e = g
+                .find_edge(NodeId(v as u32), NodeId(u as u32))
+                .expect("mate pairs are edges");
+            m.insert(g, e);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force_mwm;
+    use congest_graph::{generators, GraphBuilder};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paths_and_cycles() {
+        assert_eq!(blossom_maximum_matching(&generators::path(2)).len(), 1);
+        assert_eq!(blossom_maximum_matching(&generators::path(7)).len(), 3);
+        assert_eq!(blossom_maximum_matching(&generators::cycle(6)).len(), 3);
+        assert_eq!(blossom_maximum_matching(&generators::cycle(9)).len(), 4);
+    }
+
+    #[test]
+    fn complete_graphs_have_floor_half() {
+        for n in 2..10 {
+            let g = generators::complete(n);
+            assert_eq!(blossom_maximum_matching(&g).len(), n / 2, "K_{n}");
+        }
+    }
+
+    #[test]
+    fn petersen_graph_has_perfect_matching() {
+        // The Petersen graph: outer 5-cycle, inner pentagram, spokes.
+        let mut b = GraphBuilder::with_nodes(10);
+        for i in 0..5u32 {
+            b.add_edge(i.into(), ((i + 1) % 5).into());
+            b.add_edge((5 + i).into(), (5 + (i + 2) % 5).into());
+            b.add_edge(i.into(), (5 + i).into());
+        }
+        let g = b.build();
+        let m = blossom_maximum_matching(&g);
+        assert_eq!(m.len(), 5);
+        assert!(m.is_perfect(&g));
+    }
+
+    #[test]
+    fn requires_blossom_handling() {
+        // Two triangles joined by a bridge: maximum matching = 3, but a
+        // greedy matcher can get stuck at 2 without blossoms.
+        let mut b = GraphBuilder::with_nodes(6);
+        b.add_edge(0.into(), 1.into());
+        b.add_edge(1.into(), 2.into());
+        b.add_edge(0.into(), 2.into());
+        b.add_edge(3.into(), 4.into());
+        b.add_edge(4.into(), 5.into());
+        b.add_edge(3.into(), 5.into());
+        b.add_edge(2.into(), 3.into());
+        let g = b.build();
+        assert_eq!(blossom_maximum_matching(&g).len(), 3);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        for trial in 0..20 {
+            let g = generators::gnp(10, 0.35, &mut rng);
+            if g.num_edges() > 24 {
+                continue;
+            }
+            let blossom = blossom_maximum_matching(&g);
+            let brute = brute_force_mwm(&g); // unit weights ⇒ cardinality
+            assert!(blossom.is_valid(&g));
+            assert_eq!(blossom.len(), brute.len(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        let g0 = GraphBuilder::new().build();
+        assert_eq!(blossom_maximum_matching(&g0).len(), 0);
+        let g1 = GraphBuilder::with_nodes(1).build();
+        assert_eq!(blossom_maximum_matching(&g1).len(), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Exponential-time exact solvers for small instances: the ground truth
+//! for approximation-ratio experiments.
+
+use congest_graph::{EdgeId, Graph, IndependentSet, Matching, NodeId};
+
+/// Exact maximum weight independent set by branch and bound.
+///
+/// Branches on the highest-degree remaining node (include / exclude),
+/// pruning with the trivial remaining-weight bound. Practical for
+/// `n ≲ 40` on sparse graphs.
+///
+/// # Panics
+/// Panics if `g` has more than 64 nodes (bitmask representation).
+///
+/// # Example
+///
+/// ```
+/// use congest_graph::generators;
+/// use congest_exact::brute_force_mwis;
+///
+/// let g = generators::cycle(5); // unit weights: MaxIS = 2
+/// assert_eq!(brute_force_mwis(&g).weight(&g), 2);
+/// ```
+pub fn brute_force_mwis(g: &Graph) -> IndependentSet {
+    let n = g.num_nodes();
+    assert!(n <= 64, "brute-force MWIS supports at most 64 nodes, got {n}");
+    if n == 0 {
+        return IndependentSet::new(g);
+    }
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let adj: Vec<u64> = (0..n)
+        .map(|v| {
+            g.neighbors(NodeId(v as u32))
+                .iter()
+                .fold(0u64, |m, &(u, _)| m | (1u64 << u.index()))
+        })
+        .collect();
+    let weights: Vec<u64> = g.node_weights().to_vec();
+
+    struct Search<'a> {
+        adj: &'a [u64],
+        weights: &'a [u64],
+        best_weight: u64,
+        best_set: u64,
+    }
+
+    impl Search<'_> {
+        fn remaining_weight(&self, mut mask: u64) -> u64 {
+            let mut sum = 0;
+            while mask != 0 {
+                let v = mask.trailing_zeros() as usize;
+                sum += self.weights[v];
+                mask &= mask - 1;
+            }
+            sum
+        }
+
+        fn run(&mut self, remaining: u64, chosen: u64, weight: u64) {
+            if weight > self.best_weight {
+                self.best_weight = weight;
+                self.best_set = chosen;
+            }
+            if remaining == 0 || weight + self.remaining_weight(remaining) <= self.best_weight {
+                return;
+            }
+            // Branch on the remaining node with the most remaining neighbors.
+            let mut pick = remaining.trailing_zeros() as usize;
+            let mut pick_deg = (self.adj[pick] & remaining).count_ones();
+            let mut scan = remaining & (remaining - 1);
+            while scan != 0 {
+                let v = scan.trailing_zeros() as usize;
+                let deg = (self.adj[v] & remaining).count_ones();
+                if deg > pick_deg {
+                    pick = v;
+                    pick_deg = deg;
+                }
+                scan &= scan - 1;
+            }
+            let bit = 1u64 << pick;
+            // Include `pick`.
+            self.run(
+                remaining & !bit & !self.adj[pick],
+                chosen | bit,
+                weight + self.weights[pick],
+            );
+            // Exclude `pick`.
+            self.run(remaining & !bit, chosen, weight);
+        }
+    }
+
+    let mut search = Search {
+        adj: &adj,
+        weights: &weights,
+        best_weight: 0,
+        best_set: 0,
+    };
+    search.run(full, 0, 0);
+
+    IndependentSet::from_members(
+        g,
+        (0..n).filter(|&v| search.best_set & (1u64 << v) != 0).map(|v| NodeId(v as u32)),
+    )
+}
+
+/// Exact maximum weight matching by branch and bound over edges.
+///
+/// Exponential in the number of edges; practical for `m ≲ 40`. With unit
+/// weights the result is a maximum cardinality matching (used to
+/// cross-check the blossom implementation).
+pub fn brute_force_mwm(g: &Graph) -> Matching {
+    let m = g.num_edges();
+    // Sort edges by descending weight so the bound tightens early.
+    let mut order: Vec<EdgeId> = g.edges().collect();
+    order.sort_by_key(|&e| std::cmp::Reverse(g.edge_weight(e)));
+    let suffix_weight: Vec<u64> = {
+        let mut acc = vec![0u64; m + 1];
+        for i in (0..m).rev() {
+            acc[i] = acc[i + 1] + g.edge_weight(order[i]);
+        }
+        acc
+    };
+
+    struct Search<'a> {
+        g: &'a Graph,
+        order: &'a [EdgeId],
+        suffix_weight: &'a [u64],
+        used: Vec<bool>,
+        best_weight: u64,
+        best_edges: Vec<EdgeId>,
+        current: Vec<EdgeId>,
+    }
+
+    impl Search<'_> {
+        fn run(&mut self, idx: usize, weight: u64) {
+            if weight > self.best_weight {
+                self.best_weight = weight;
+                self.best_edges = self.current.clone();
+            }
+            if idx == self.order.len() || weight + self.suffix_weight[idx] <= self.best_weight {
+                return;
+            }
+            let e = self.order[idx];
+            let (u, v) = self.g.endpoints(e);
+            if !self.used[u.index()] && !self.used[v.index()] {
+                self.used[u.index()] = true;
+                self.used[v.index()] = true;
+                self.current.push(e);
+                self.run(idx + 1, weight + self.g.edge_weight(e));
+                self.current.pop();
+                self.used[u.index()] = false;
+                self.used[v.index()] = false;
+            }
+            self.run(idx + 1, weight);
+        }
+    }
+
+    let mut search = Search {
+        g,
+        order: &order,
+        suffix_weight: &suffix_weight,
+        used: vec![false; g.num_nodes()],
+        best_weight: 0,
+        best_edges: Vec::new(),
+        current: Vec::new(),
+    };
+    search.run(0, 0);
+    Matching::from_edges(g, search.best_edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, GraphBuilder};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn mwis_on_classics() {
+        assert_eq!(brute_force_mwis(&generators::path(4)).weight(&generators::path(4)), 2);
+        assert_eq!(brute_force_mwis(&generators::cycle(6)).len(), 3);
+        assert_eq!(brute_force_mwis(&generators::complete(7)).len(), 1);
+        let star = generators::star(10);
+        assert_eq!(brute_force_mwis(&star).len(), 9);
+    }
+
+    #[test]
+    fn mwis_weighted_star_picks_heavy_center() {
+        let mut g = generators::star(5);
+        g.set_node_weight(NodeId(0), 100);
+        let s = brute_force_mwis(&g);
+        assert_eq!(s.weight(&g), 100);
+        assert!(s.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn mwis_result_is_independent() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..10 {
+            let mut g = generators::gnp(16, 0.3, &mut rng);
+            for v in g.nodes().collect::<Vec<_>>() {
+                g.set_node_weight(v, rng.random_range(1..20));
+            }
+            let s = brute_force_mwis(&g);
+            assert!(s.is_independent(&g));
+        }
+    }
+
+    #[test]
+    fn mwis_beats_or_ties_every_single_node() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let mut g = generators::gnp(12, 0.3, &mut rng);
+        for v in g.nodes().collect::<Vec<_>>() {
+            g.set_node_weight(v, rng.random_range(1..30));
+        }
+        let best = brute_force_mwis(&g).weight(&g);
+        for v in g.nodes() {
+            assert!(best >= g.node_weight(v));
+        }
+    }
+
+    #[test]
+    fn mwm_on_classics() {
+        let p4 = generators::path(4);
+        assert_eq!(brute_force_mwm(&p4).len(), 2);
+        let c5 = generators::cycle(5);
+        assert_eq!(brute_force_mwm(&c5).len(), 2);
+    }
+
+    #[test]
+    fn mwm_weighted_middle_edge() {
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_weighted_edge(0.into(), 1.into(), 2);
+        b.add_weighted_edge(1.into(), 2.into(), 5);
+        b.add_weighted_edge(2.into(), 3.into(), 2);
+        let g = b.build();
+        assert_eq!(brute_force_mwm(&g).weight(&g), 5);
+    }
+
+    #[test]
+    fn mwm_is_valid_matching() {
+        let mut rng = SmallRng::seed_from_u64(15);
+        for _ in 0..10 {
+            let mut g = generators::gnp(10, 0.3, &mut rng);
+            for e in g.edges().collect::<Vec<_>>() {
+                g.set_edge_weight(e, rng.random_range(1..10));
+            }
+            let m = brute_force_mwm(&g);
+            assert!(m.is_valid(&g));
+        }
+    }
+
+    #[test]
+    fn empty_graphs() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(brute_force_mwis(&g).len(), 0);
+        assert_eq!(brute_force_mwm(&g).len(), 0);
+    }
+}

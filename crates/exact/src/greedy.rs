@@ -1,0 +1,115 @@
+//! Sequential greedy heuristics — fast reference points for large
+//! instances where exact optima are intractable.
+
+use congest_graph::{EdgeId, Graph, IndependentSet, Matching, NodeId};
+
+/// Heaviest-edge-first greedy matching: the classic sequential
+/// 2-approximation for maximum weight matching.
+///
+/// Ties are broken by edge id for determinism.
+///
+/// # Example
+///
+/// ```
+/// use congest_graph::generators;
+/// use congest_exact::greedy_matching;
+///
+/// let g = generators::cycle(6);
+/// assert_eq!(greedy_matching(&g).len(), 3);
+/// ```
+pub fn greedy_matching(g: &Graph) -> Matching {
+    let mut order: Vec<EdgeId> = g.edges().collect();
+    order.sort_by_key(|&e| (std::cmp::Reverse(g.edge_weight(e)), e));
+    let mut m = Matching::new(g);
+    for e in order {
+        m.try_insert(g, e);
+    }
+    m
+}
+
+/// Heaviest-node-first greedy independent set.
+///
+/// Ties are broken by node id for determinism. This is *not* the
+/// degree-aware greedy of \[HR97\]; it is the natural weight-greedy
+/// baseline the local-ratio algorithms are compared against in benches.
+pub fn greedy_mwis(g: &Graph) -> IndependentSet {
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.node_weight(v)), v));
+    let mut set = IndependentSet::new(g);
+    let mut blocked = vec![false; g.num_nodes()];
+    for v in order {
+        if blocked[v.index()] {
+            continue;
+        }
+        set.insert(v);
+        blocked[v.index()] = true;
+        for &(u, _) in g.neighbors(v) {
+            blocked[u.index()] = true;
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{brute_force_mwis, brute_force_mwm};
+    use congest_graph::{generators, GraphBuilder};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn greedy_matching_is_half_approx() {
+        let mut rng = SmallRng::seed_from_u64(20);
+        for _ in 0..10 {
+            let mut g = generators::gnp(10, 0.3, &mut rng);
+            for e in g.edges().collect::<Vec<_>>() {
+                g.set_edge_weight(e, rng.random_range(1..20));
+            }
+            let greedy = greedy_matching(&g).weight(&g);
+            let opt = brute_force_mwm(&g).weight(&g);
+            assert!(2 * greedy >= opt, "greedy {greedy} vs opt {opt}");
+            assert!(greedy <= opt);
+        }
+    }
+
+    #[test]
+    fn greedy_matching_is_maximal() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let g = generators::gnp(40, 0.1, &mut rng);
+        assert!(greedy_matching(&g).is_maximal(&g));
+    }
+
+    #[test]
+    fn greedy_mwis_is_independent_and_maximal() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let mut g = generators::gnp(40, 0.1, &mut rng);
+        for v in g.nodes().collect::<Vec<_>>() {
+            g.set_node_weight(v, rng.random_range(1..9));
+        }
+        let s = greedy_mwis(&g);
+        assert!(s.is_maximal(&g));
+        assert!(s.weight(&g) <= brute_force_mwis(&g).weight(&g));
+    }
+
+    #[test]
+    fn greedy_mwis_takes_heavy_center_of_star() {
+        let mut g = generators::star(6);
+        g.set_node_weight(NodeId(0), 50);
+        let s = greedy_mwis(&g);
+        assert!(s.contains(NodeId(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn greedy_matching_can_be_suboptimal() {
+        // Path with weights 3-4-3: greedy takes the 4, optimum takes 3+3.
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_weighted_edge(0.into(), 1.into(), 3);
+        b.add_weighted_edge(1.into(), 2.into(), 4);
+        b.add_weighted_edge(2.into(), 3.into(), 3);
+        let g = b.build();
+        assert_eq!(greedy_matching(&g).weight(&g), 4);
+        assert_eq!(brute_force_mwm(&g).weight(&g), 6);
+    }
+}

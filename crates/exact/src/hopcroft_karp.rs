@@ -1,0 +1,151 @@
+//! Hopcroft–Karp maximum cardinality matching for bipartite graphs
+//! \[HK73\] — the sequential ancestor of the paper's phased
+//! augmenting-path framework (Appendix B.2), and the exact oracle used to
+//! score its distributed descendants.
+
+use congest_graph::{Bipartition, Graph, Matching, NodeId};
+
+const NONE: usize = usize::MAX;
+const INF: u32 = u32::MAX;
+
+/// Exact maximum cardinality matching of a bipartite graph in `O(m√n)`.
+///
+/// # Panics
+/// Panics if `bp` is not a proper bipartition of `g`.
+///
+/// # Example
+///
+/// ```
+/// use congest_graph::{generators, Bipartition};
+/// use congest_exact::hopcroft_karp;
+///
+/// let g = generators::complete_bipartite(3, 5);
+/// let bp = Bipartition::of(&g).unwrap();
+/// assert_eq!(hopcroft_karp(&g, &bp).len(), 3);
+/// ```
+pub fn hopcroft_karp(g: &Graph, bp: &Bipartition) -> Matching {
+    assert!(bp.is_proper(g), "bipartition must be proper for Hopcroft-Karp");
+    let left: Vec<NodeId> = bp.left().collect();
+    let n = g.num_nodes();
+    let mut mate = vec![NONE; n];
+    let mut dist = vec![INF; n];
+
+    // BFS from free left nodes, layering by alternating distance.
+    let bfs = |mate: &[usize], dist: &mut [u32]| -> bool {
+        let mut queue = std::collections::VecDeque::new();
+        for &u in &left {
+            if mate[u.index()] == NONE {
+                dist[u.index()] = 0;
+                queue.push_back(u.index());
+            } else {
+                dist[u.index()] = INF;
+            }
+        }
+        let mut found = false;
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in g.neighbors(NodeId(u as u32)) {
+                let w = mate[v.index()];
+                if w == NONE {
+                    found = true;
+                } else if dist[w] == INF {
+                    dist[w] = dist[u] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        found
+    };
+
+    fn dfs(
+        g: &Graph,
+        u: usize,
+        mate: &mut [usize],
+        dist: &mut [u32],
+    ) -> bool {
+        for i in 0..g.degree(NodeId(u as u32)) {
+            let (v, _) = g.neighbors(NodeId(u as u32))[i];
+            let w = mate[v.index()];
+            if w == NONE || (dist[w] == dist[u] + 1 && dfs(g, w, mate, dist)) {
+                mate[u] = v.index();
+                mate[v.index()] = u;
+                return true;
+            }
+        }
+        dist[u] = INF;
+        false
+    }
+
+    while bfs(&mate, &mut dist) {
+        for &u in &left {
+            if mate[u.index()] == NONE {
+                dfs(g, u.index(), &mut mate, &mut dist);
+            }
+        }
+    }
+
+    let mut m = Matching::new(g);
+    for &u in &left {
+        let v = mate[u.index()];
+        if v != NONE {
+            let e = g
+                .find_edge(u, NodeId(v as u32))
+                .expect("mate pairs are edges");
+            m.insert(g, e);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blossom_maximum_matching;
+    use congest_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_bipartite_matches_min_side() {
+        for (a, b) in [(1, 1), (2, 5), (4, 4), (6, 3)] {
+            let g = generators::complete_bipartite(a, b);
+            let bp = Bipartition::of(&g).unwrap();
+            assert_eq!(hopcroft_karp(&g, &bp).len(), a.min(b));
+        }
+    }
+
+    #[test]
+    fn even_cycles_perfect() {
+        let g = generators::cycle(10);
+        let bp = Bipartition::of(&g).unwrap();
+        let m = hopcroft_karp(&g, &bp);
+        assert!(m.is_perfect(&g));
+    }
+
+    #[test]
+    fn agrees_with_blossom_on_random_bipartite() {
+        let mut rng = SmallRng::seed_from_u64(55);
+        for trial in 0..10 {
+            let g = generators::random_bipartite(12, 14, 0.25, &mut rng);
+            let bp = Bipartition::of(&g).unwrap();
+            let hk = hopcroft_karp(&g, &bp);
+            let bl = blossom_maximum_matching(&g);
+            assert!(hk.is_valid(&g));
+            assert_eq!(hk.len(), bl.len(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proper")]
+    fn rejects_improper_bipartition() {
+        let g = generators::path(3);
+        let bad = Bipartition::from_sides(vec![false, false, false]);
+        hopcroft_karp(&g, &bad);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = congest_graph::GraphBuilder::with_nodes(4).build();
+        let bp = Bipartition::of(&g).unwrap();
+        assert_eq!(hopcroft_karp(&g, &bp).len(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Hungarian (Kuhn–Munkres) algorithm: exact maximum weight matching in
+//! bipartite graphs, `O(n³)` with potentials.
+//!
+//! Maximum *weight* matching reduces to the assignment problem: pad the
+//! bipartite graph to a complete one where non-edges have weight 0; any
+//! minimum-cost (with costs = negated weights) perfect assignment on the
+//! padded graph induces a maximum-weight matching on the original edges.
+
+use congest_graph::{Bipartition, Graph, Matching, NodeId};
+
+const INF: i64 = i64::MAX / 4;
+
+/// Exact maximum weight matching of a bipartite graph.
+///
+/// # Panics
+/// Panics if `bp` is not a proper bipartition of `g`.
+///
+/// # Example
+///
+/// ```
+/// use congest_graph::{Bipartition, GraphBuilder};
+/// use congest_exact::hungarian_max_weight_matching;
+///
+/// // Two left nodes competing for a shared right node.
+/// let mut b = GraphBuilder::with_nodes(3);
+/// b.add_weighted_edge(0.into(), 2.into(), 10);
+/// b.add_weighted_edge(1.into(), 2.into(), 7);
+/// let g = b.build();
+/// let bp = Bipartition::from_sides(vec![false, false, true]);
+/// let m = hungarian_max_weight_matching(&g, &bp);
+/// assert_eq!(m.weight(&g), 10);
+/// ```
+pub fn hungarian_max_weight_matching(g: &Graph, bp: &Bipartition) -> Matching {
+    assert!(bp.is_proper(g), "bipartition must be proper for the Hungarian algorithm");
+    let mut left: Vec<NodeId> = bp.left().collect();
+    let mut right: Vec<NodeId> = bp.right().collect();
+    if left.len() > right.len() {
+        std::mem::swap(&mut left, &mut right);
+    }
+    let (rows, cols) = (left.len(), right.len());
+    if rows == 0 {
+        return Matching::new(g);
+    }
+
+    // cost[i][j] = −weight(edge) for edges, 0 for non-edges ("unmatched").
+    let mut cost = vec![vec![0i64; cols + 1]; rows + 1];
+    for (i, &u) in left.iter().enumerate() {
+        for (j, &v) in right.iter().enumerate() {
+            if let Some(e) = g.find_edge(u, v) {
+                cost[i + 1][j + 1] = -(g.edge_weight(e) as i64);
+            }
+        }
+    }
+
+    // Potentials-based assignment (1-indexed; p[j] = row assigned to col j).
+    let mut u = vec![0i64; rows + 1];
+    let mut v = vec![0i64; cols + 1];
+    let mut p = vec![0usize; cols + 1];
+    let mut way = vec![0usize; cols + 1];
+    for i in 1..=rows {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; cols + 1];
+        let mut used = vec![false; cols + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=cols {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0][j] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=cols {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut m = Matching::new(g);
+    for j in 1..=cols {
+        let i = p[j];
+        if i == 0 {
+            continue;
+        }
+        let (lu, rv) = (left[i - 1], right[j - 1]);
+        if let Some(e) = g.find_edge(lu, rv) {
+            m.insert(g, e);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{brute_force_mwm, hopcroft_karp};
+    use congest_graph::{generators, GraphBuilder};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn prefers_heavy_edge_over_two_light() {
+        // Path a−b−c−d: taking the middle edge (weight 10) beats the two
+        // outer edges (3 + 3 = 6)... make it so.
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_weighted_edge(0.into(), 1.into(), 3);
+        b.add_weighted_edge(1.into(), 2.into(), 10);
+        b.add_weighted_edge(2.into(), 3.into(), 3);
+        let g = b.build();
+        let bp = Bipartition::of(&g).unwrap();
+        let m = hungarian_max_weight_matching(&g, &bp);
+        assert_eq!(m.weight(&g), 10);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn prefers_two_medium_over_one_heavy() {
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_weighted_edge(0.into(), 1.into(), 6);
+        b.add_weighted_edge(1.into(), 2.into(), 10);
+        b.add_weighted_edge(2.into(), 3.into(), 6);
+        let g = b.build();
+        let bp = Bipartition::of(&g).unwrap();
+        let m = hungarian_max_weight_matching(&g, &bp);
+        assert_eq!(m.weight(&g), 12);
+    }
+
+    #[test]
+    fn unit_weights_match_hopcroft_karp_cardinality() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        for trial in 0..10 {
+            let g = generators::random_bipartite(8, 9, 0.3, &mut rng);
+            let bp = Bipartition::of(&g).unwrap();
+            let hk = hopcroft_karp(&g, &bp).len() as u64;
+            let hung = hungarian_max_weight_matching(&g, &bp);
+            assert!(hung.is_valid(&g));
+            assert_eq!(hung.weight(&g), hk, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_weighted_bipartite() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for trial in 0..10 {
+            let mut g = generators::random_bipartite(5, 6, 0.4, &mut rng);
+            for e in g.edges().collect::<Vec<_>>() {
+                g.set_edge_weight(e, rng.random_range(1..50));
+            }
+            let bp = Bipartition::of(&g).unwrap();
+            let hung = hungarian_max_weight_matching(&g, &bp);
+            let brute = brute_force_mwm(&g);
+            assert_eq!(hung.weight(&g), brute.weight(&g), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_sides_both_orientations() {
+        // More left than right nodes forces the internal swap.
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_weighted_edge(0.into(), 3.into(), 5);
+        b.add_weighted_edge(1.into(), 3.into(), 9);
+        b.add_weighted_edge(2.into(), 3.into(), 7);
+        let g = b.build();
+        let bp = Bipartition::from_sides(vec![false, false, false, true]);
+        let m = hungarian_max_weight_matching(&g, &bp);
+        assert_eq!(m.weight(&g), 9);
+    }
+
+    #[test]
+    fn empty_side() {
+        let g = GraphBuilder::with_nodes(3).build();
+        let bp = Bipartition::from_sides(vec![true, true, true]);
+        assert_eq!(hungarian_max_weight_matching(&g, &bp).len(), 0);
+    }
+}

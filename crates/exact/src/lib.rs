@@ -1,0 +1,60 @@
+//! Exact and sequential baselines for evaluating the distributed
+//! approximation algorithms.
+//!
+//! The paper's guarantees are multiplicative factors against the true
+//! optimum; this crate computes those optima (where tractable) plus the
+//! classic sequential heuristics used as additional reference points:
+//!
+//! * [`blossom_maximum_matching`] — Edmonds' blossom algorithm: exact
+//!   maximum *cardinality* matching in general graphs, `O(n³)`.
+//! * [`hopcroft_karp`] — exact maximum cardinality matching in bipartite
+//!   graphs, `O(m√n)`.
+//! * [`hungarian_max_weight_matching`] — exact maximum *weight* matching
+//!   in bipartite graphs via the Hungarian algorithm, `O(n³)`.
+//! * [`brute_force_mwis`] — branch-and-bound maximum weight independent
+//!   set (exact; exponential, intended for `n ≲ 40`).
+//! * [`brute_force_mwm`] — branch-and-bound maximum weight matching for
+//!   small general graphs.
+//! * [`greedy_matching`] — heaviest-edge-first greedy matching, the
+//!   classic sequential 2-approximation for MWM.
+//! * [`greedy_mwis`] — weight-greedy independent set heuristic.
+//!
+//! # Example
+//!
+//! ```
+//! use congest_graph::generators;
+//! use congest_exact::{blossom_maximum_matching, greedy_matching};
+//!
+//! let g = generators::cycle(9);
+//! let opt = blossom_maximum_matching(&g);
+//! assert_eq!(opt.len(), 4); // ⌊9/2⌋
+//! let greedy = greedy_matching(&g);
+//! assert!(2 * greedy.weight(&g) >= opt.weight(&g));
+//! ```
+
+mod blossom;
+mod brute;
+mod greedy;
+mod hopcroft_karp;
+mod hungarian;
+
+pub use blossom::blossom_maximum_matching;
+pub use brute::{brute_force_mwis, brute_force_mwm};
+pub use greedy::{greedy_matching, greedy_mwis};
+pub use hopcroft_karp::hopcroft_karp;
+pub use hungarian::hungarian_max_weight_matching;
+
+use congest_graph::{Bipartition, Graph, Matching};
+
+/// Best available exact maximum-weight-matching oracle for `g`:
+/// the Hungarian algorithm when `g` is bipartite, branch-and-bound when
+/// `g` is small, `None` otherwise.
+pub fn max_weight_matching_oracle(g: &Graph) -> Option<Matching> {
+    if let Some(bp) = Bipartition::of(g) {
+        return Some(hungarian_max_weight_matching(g, &bp));
+    }
+    if g.num_edges() <= 40 {
+        return Some(brute_force_mwm(g));
+    }
+    None
+}

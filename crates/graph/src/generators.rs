@@ -1,0 +1,369 @@
+//! Graph families used throughout the test suite and benchmark harness.
+//!
+//! All random generators take a caller-supplied [`Rng`] so that every
+//! experiment in the workspace is reproducible from a single master seed.
+//! Weights default to 1 everywhere; use [`randomize_node_weights`] /
+//! [`randomize_edge_weights`] to draw weights uniformly from `[1, W]` as in
+//! the paper's `W`-sweeps.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Erdős–Rényi random graph `G(n, p)`: each of the `n·(n-1)/2` possible
+/// edges is present independently with probability `p`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+    let mut b = GraphBuilder::with_nodes(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.random_bool(p) {
+                b.add_edge(NodeId(u), NodeId(v));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random `d`-regular graph via the configuration (pairing) model,
+/// retrying until a simple pairing is found.
+///
+/// # Panics
+/// Panics if `n * d` is odd or `d >= n` (no simple `d`-regular graph
+/// exists), or if 1000 pairing attempts fail (vanishingly unlikely for the
+/// parameter ranges used in the workspace).
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+    assert!(d < n, "d must be < n for a simple d-regular graph");
+    if d == 0 {
+        return GraphBuilder::with_nodes(n).build();
+    }
+    // Steger–Wormald style: repeatedly pair random unused stubs, restarting
+    // from scratch on the (rare) dead ends where every remaining stub pair
+    // would create a self-loop or duplicate edge.
+    'attempt: for _ in 0..1000 {
+        let mut stubs: Vec<u32> =
+            (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(rng);
+        let mut b = GraphBuilder::with_nodes(n);
+        while !stubs.is_empty() {
+            // Try a bounded number of random pairs before declaring a dead
+            // end; 50 draws make dead-end declarations extremely unlikely
+            // unless the remaining stubs genuinely admit no valid pair.
+            let mut paired = false;
+            for _ in 0..50 {
+                let i = rng.random_range(0..stubs.len());
+                let mut j = rng.random_range(0..stubs.len());
+                if stubs.len() > 1 {
+                    while j == i {
+                        j = rng.random_range(0..stubs.len());
+                    }
+                }
+                let (u, v) = (stubs[i], stubs[j]);
+                if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
+                    b.add_edge(NodeId(u), NodeId(v));
+                    // Remove the larger index first so the smaller stays valid.
+                    let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                    stubs.swap_remove(hi);
+                    stubs.swap_remove(lo);
+                    paired = true;
+                    break;
+                }
+            }
+            if !paired {
+                continue 'attempt;
+            }
+        }
+        return b.build();
+    }
+    panic!("failed to generate a simple {d}-regular graph on {n} nodes after 1000 attempts");
+}
+
+/// Star `K_{1,n-1}`: node 0 is the center, nodes `1..n` are leaves.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1, "star requires at least one node");
+    let mut b = GraphBuilder::with_nodes(n);
+    for leaf in 1..n as u32 {
+        b.add_edge(NodeId(0), NodeId(leaf));
+    }
+    b.build()
+}
+
+/// Path `P_n` with nodes `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_nodes(n);
+    for v in 1..n as u32 {
+        b.add_edge(NodeId(v - 1), NodeId(v));
+    }
+    b.build()
+}
+
+/// Cycle `C_n`.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut b = GraphBuilder::with_nodes(n);
+    for v in 0..n as u32 {
+        b.add_edge(NodeId(v), NodeId((v + 1) % n as u32));
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_nodes(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    b.build()
+}
+
+/// 2-dimensional grid with `rows × cols` nodes; node `(r, c)` has id
+/// `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::with_nodes(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{a,b}`; the left side is `0..a`, the right
+/// side `a..a+b`.
+pub fn complete_bipartite(a: usize, b_sz: usize) -> Graph {
+    let mut b = GraphBuilder::with_nodes(a + b_sz);
+    for u in 0..a as u32 {
+        for v in 0..b_sz as u32 {
+            b.add_edge(NodeId(u), NodeId(a as u32 + v));
+        }
+    }
+    b.build()
+}
+
+/// Random bipartite graph: left side `0..a`, right side `a..a+b`, each of
+/// the `a·b` cross edges present independently with probability `p`.
+pub fn random_bipartite<R: Rng + ?Sized>(a: usize, b_sz: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+    let mut b = GraphBuilder::with_nodes(a + b_sz);
+    for u in 0..a as u32 {
+        for v in 0..b_sz as u32 {
+            if rng.random_bool(p) {
+                b.add_edge(NodeId(u), NodeId(a as u32 + v));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential-attachment graph: starts from a clique on
+/// `m + 1` nodes, then each new node attaches to `m` distinct existing
+/// nodes chosen proportionally to degree.
+///
+/// # Panics
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m >= 1, "attachment count m must be positive");
+    assert!(n > m, "n must exceed m");
+    let mut b = GraphBuilder::with_nodes(n);
+    // Repeated-endpoints list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoint_pool: Vec<u32> = Vec::new();
+    for u in 0..=m as u32 {
+        for v in (u + 1)..=m as u32 {
+            b.add_edge(NodeId(u), NodeId(v));
+            endpoint_pool.push(u);
+            endpoint_pool.push(v);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoint_pool[rng.random_range(0..endpoint_pool.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(NodeId(v as u32), NodeId(t));
+            endpoint_pool.push(v as u32);
+            endpoint_pool.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Uniform random labelled tree on `n` nodes via a random Prüfer sequence.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    let mut b = GraphBuilder::with_nodes(n);
+    if n <= 1 {
+        return b.build();
+    }
+    if n == 2 {
+        b.add_edge(NodeId(0), NodeId(1));
+        return b.build();
+    }
+    let prufer: Vec<u32> = (0..n - 2).map(|_| rng.random_range(0..n as u32)).collect();
+    let mut degree = vec![1u32; n];
+    for &x in &prufer {
+        degree[x as usize] += 1;
+    }
+    // Standard Prüfer decoding with a min-heap over current leaves.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = (0..n as u32)
+        .filter(|&v| degree[v as usize] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &x in &prufer {
+        let std::cmp::Reverse(leaf) = heap.pop().expect("tree decoding invariant");
+        b.add_edge(NodeId(leaf), NodeId(x));
+        degree[x as usize] -= 1;
+        if degree[x as usize] == 1 {
+            heap.push(std::cmp::Reverse(x));
+        }
+    }
+    let std::cmp::Reverse(u) = heap.pop().expect("two leaves remain");
+    let std::cmp::Reverse(v) = heap.pop().expect("two leaves remain");
+    b.add_edge(NodeId(u), NodeId(v));
+    b.build()
+}
+
+/// Draws every node weight uniformly from `[1, max_weight]`.
+pub fn randomize_node_weights<R: Rng + ?Sized>(g: &mut Graph, max_weight: u64, rng: &mut R) {
+    assert!(max_weight >= 1, "max_weight must be at least 1");
+    for v in 0..g.num_nodes() {
+        g.set_node_weight(NodeId(v as u32), rng.random_range(1..=max_weight));
+    }
+}
+
+/// Draws every edge weight uniformly from `[1, max_weight]`.
+pub fn randomize_edge_weights<R: Rng + ?Sized>(g: &mut Graph, max_weight: u64, rng: &mut R) {
+    assert!(max_weight >= 1, "max_weight must be at least 1");
+    for e in 0..g.num_edges() {
+        g.set_edge_weight(crate::EdgeId(e as u32), rng.random_range(1..=max_weight));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).num_edges(), 45);
+    }
+
+    #[test]
+    fn regular_graph_has_uniform_degree() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for &(n, d) in &[(10, 3), (20, 4), (50, 7), (16, 0)] {
+            let g = random_regular(n, d, &mut rng);
+            assert_eq!(g.num_nodes(), n);
+            for v in g.nodes() {
+                assert_eq!(g.degree(v), d, "node {v} in {n}-node {d}-regular graph");
+            }
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.degree(NodeId(0)), 5);
+        for v in 1..6 {
+            assert_eq!(g.degree(NodeId(v)), 1);
+        }
+    }
+
+    #[test]
+    fn path_and_cycle_degrees() {
+        let p = path(5);
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(p.degree(NodeId(0)), 1);
+        assert_eq!(p.degree(NodeId(2)), 2);
+        let c = cycle(5);
+        assert_eq!(c.num_edges(), 5);
+        for v in c.nodes() {
+            assert_eq!(c.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        assert_eq!(complete(7).num_edges(), 21);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        // 3 rows × 3 horizontal + 2 × 4 vertical = 9 + 8.
+        assert_eq!(g.num_edges(), 17);
+    }
+
+    #[test]
+    fn bipartite_generators() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_edges(), 12);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let h = random_bipartite(5, 5, 1.0, &mut rng);
+        assert_eq!(h.num_edges(), 25);
+    }
+
+    #[test]
+    fn barabasi_albert_counts() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = barabasi_albert(50, 3, &mut rng);
+        assert_eq!(g.num_nodes(), 50);
+        // Initial clique K_4 (6 edges) + 46 nodes × 3 edges.
+        assert_eq!(g.num_edges(), 6 + 46 * 3);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for n in [1usize, 2, 3, 10, 100] {
+            let g = random_tree(n, &mut rng);
+            assert_eq!(g.num_edges(), n.saturating_sub(1));
+            // Connectivity check by BFS.
+            if n > 0 {
+                let mut seen = vec![false; n];
+                let mut queue = vec![NodeId(0)];
+                seen[0] = true;
+                while let Some(v) = queue.pop() {
+                    for &(u, _) in g.neighbors(v) {
+                        if !seen[u.index()] {
+                            seen[u.index()] = true;
+                            queue.push(u);
+                        }
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "tree on {n} nodes not connected");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_randomization_in_range() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut g = complete(10);
+        randomize_node_weights(&mut g, 16, &mut rng);
+        randomize_edge_weights(&mut g, 9, &mut rng);
+        assert!(g.node_weights().iter().all(|&w| (1..=16).contains(&w)));
+        assert!(g.edge_weights().iter().all(|&w| (1..=9).contains(&w)));
+    }
+}

@@ -1,0 +1,406 @@
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`].
+///
+/// Node ids are dense indices `0..n`. The newtype keeps node indices from
+/// being confused with [`EdgeId`]s — an easy mistake to make around line
+/// graphs, where the edges of `G` become the nodes of `L(G)`.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an undirected edge in a [`Graph`].
+///
+/// Edge ids are dense indices `0..m` in insertion order.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+/// An immutable, simple, undirected graph with `u64` node and edge weights.
+///
+/// Construct through [`GraphBuilder`](crate::GraphBuilder) or one of the
+/// [`generators`](crate::generators). Adjacency lists are sorted by neighbor
+/// id, enabling `O(log Δ)` adjacency queries.
+///
+/// Weights default to `1`. Node weights drive the maximum-weight independent
+/// set algorithms; edge weights drive the maximum-weight matching
+/// algorithms.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// `adj[v]` = sorted list of `(neighbor, connecting edge)`.
+    pub(crate) adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// `edges[e]` = endpoints `(u, v)` with `u < v`.
+    pub(crate) edges: Vec<(NodeId, NodeId)>,
+    pub(crate) node_weights: Vec<u64>,
+    pub(crate) edge_weights: Vec<u64>,
+}
+
+impl Graph {
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids `0..m`.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Sorted neighbors of `v` as `(neighbor, connecting edge)` pairs.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adj[v.index()]
+    }
+
+    /// Endpoints `(u, v)` of edge `e`, with `u < v`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e.index()]
+    }
+
+    /// The endpoint of `e` that is not `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is not an endpoint of `e`.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, v: NodeId) -> NodeId {
+        let (a, b) = self.endpoints(e);
+        if a == v {
+            b
+        } else {
+            assert_eq!(b, v, "{v} is not an endpoint of {e}");
+            a
+        }
+    }
+
+    /// Whether `e` is incident to node `v`.
+    #[inline]
+    pub fn is_incident(&self, e: EdgeId, v: NodeId) -> bool {
+        let (a, b) = self.endpoints(e);
+        a == v || b == v
+    }
+
+    /// Returns the edge connecting `u` and `v`, if any (`O(log Δ)`).
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let row = &self.adj[u.index()];
+        row.binary_search_by_key(&v, |&(w, _)| w)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// Weight of node `v`.
+    #[inline]
+    pub fn node_weight(&self, v: NodeId) -> u64 {
+        self.node_weights[v.index()]
+    }
+
+    /// Weight of edge `e`.
+    #[inline]
+    pub fn edge_weight(&self, e: EdgeId) -> u64 {
+        self.edge_weights[e.index()]
+    }
+
+    /// All node weights, indexed by node id.
+    #[inline]
+    pub fn node_weights(&self) -> &[u64] {
+        &self.node_weights
+    }
+
+    /// All edge weights, indexed by edge id.
+    #[inline]
+    pub fn edge_weights(&self) -> &[u64] {
+        &self.edge_weights
+    }
+
+    /// Sets the weight of node `v`.
+    pub fn set_node_weight(&mut self, v: NodeId, w: u64) {
+        self.node_weights[v.index()] = w;
+    }
+
+    /// Sets the weight of edge `e`.
+    pub fn set_edge_weight(&mut self, e: EdgeId, w: u64) {
+        self.edge_weights[e.index()] = w;
+    }
+
+    /// Maximum node degree `Δ` (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Maximum node weight `W` (0 if there are no nodes).
+    pub fn max_node_weight(&self) -> u64 {
+        self.node_weights.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum edge weight (0 if there are no edges).
+    pub fn max_edge_weight(&self) -> u64 {
+        self.edge_weights.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of all node weights.
+    pub fn total_node_weight(&self) -> u64 {
+        self.node_weights.iter().sum()
+    }
+
+    /// Builds the line graph `L(G)`.
+    ///
+    /// Node `i` of `L(G)` corresponds to edge `i` of `G`; two `L(G)` nodes
+    /// are adjacent iff the corresponding `G` edges share an endpoint. Node
+    /// weights of `L(G)` are the edge weights of `G`, so a maximum-weight
+    /// independent set in `L(G)` is a maximum-weight matching in `G`
+    /// (Section 2.4 of the paper).
+    ///
+    /// Returns the line graph together with the mapping from `L(G)` node id
+    /// to the original `G` edge id (which is the identity on indices, made
+    /// explicit for type safety).
+    pub fn line_graph(&self) -> (Graph, Vec<EdgeId>) {
+        let m = self.num_edges();
+        let mut builder = crate::GraphBuilder::with_nodes(m);
+        for e in 0..m {
+            builder.set_node_weight(NodeId(e as u32), self.edge_weights[e]);
+        }
+        // Edges of L(G): all pairs of G-edges sharing an endpoint. In a
+        // simple graph two distinct edges share at most one endpoint, so no
+        // pair is generated twice from different shared endpoints.
+        for v in self.nodes() {
+            let inc = &self.adj[v.index()];
+            for i in 0..inc.len() {
+                for j in (i + 1)..inc.len() {
+                    let (e1, e2) = (inc[i].1, inc[j].1);
+                    builder.add_edge(NodeId(e1.0), NodeId(e2.0));
+                }
+            }
+        }
+        let lg = builder.build();
+        let mapping = (0..m as u32).map(EdgeId).collect();
+        (lg, mapping)
+    }
+
+    /// Induced subgraph on `keep` (nodes with `keep[v] == true`).
+    ///
+    /// Returns the subgraph and the mapping from new node id to original
+    /// node id. Weights are carried over.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (Graph, Vec<NodeId>) {
+        assert_eq!(keep.len(), self.num_nodes(), "keep mask length mismatch");
+        let mut old_of_new = Vec::new();
+        let mut new_of_old = vec![u32::MAX; self.num_nodes()];
+        for v in self.nodes() {
+            if keep[v.index()] {
+                new_of_old[v.index()] = old_of_new.len() as u32;
+                old_of_new.push(v);
+            }
+        }
+        let mut builder = crate::GraphBuilder::with_nodes(old_of_new.len());
+        for (new, &old) in old_of_new.iter().enumerate() {
+            builder.set_node_weight(NodeId(new as u32), self.node_weight(old));
+        }
+        for e in self.edges() {
+            let (u, v) = self.endpoints(e);
+            if keep[u.index()] && keep[v.index()] {
+                let eid = builder.add_edge(
+                    NodeId(new_of_old[u.index()]),
+                    NodeId(new_of_old[v.index()]),
+                );
+                builder.set_edge_weight(eid, self.edge_weight(e));
+            }
+        }
+        (builder.build(), old_of_new)
+    }
+
+    /// Subgraph with the same node set but only edges `keep[e] == true`.
+    ///
+    /// Returns the subgraph and the mapping from new edge id to original
+    /// edge id.
+    pub fn edge_subgraph(&self, keep: &[bool]) -> (Graph, Vec<EdgeId>) {
+        assert_eq!(keep.len(), self.num_edges(), "keep mask length mismatch");
+        let mut builder = crate::GraphBuilder::with_nodes(self.num_nodes());
+        for v in self.nodes() {
+            builder.set_node_weight(v, self.node_weight(v));
+        }
+        let mut old_of_new = Vec::new();
+        for e in self.edges() {
+            if keep[e.index()] {
+                let (u, v) = self.endpoints(e);
+                let eid = builder.add_edge(u, v);
+                builder.set_edge_weight(eid, self.edge_weight(e));
+                old_of_new.push(e);
+            }
+        }
+        (builder.build(), old_of_new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::with_nodes(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(0), NodeId(2));
+        b.build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.max_degree(), 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(g.has_edge(NodeId(2), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn endpoints_are_ordered() {
+        let g = triangle();
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            assert!(u < v);
+            assert_eq!(g.other_endpoint(e, u), v);
+            assert_eq!(g.other_endpoint(e, v), u);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an endpoint")]
+    fn other_endpoint_panics_for_non_endpoint() {
+        let g = triangle();
+        let e = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        g.other_endpoint(e, NodeId(2));
+    }
+
+    #[test]
+    fn line_graph_of_triangle_is_triangle() {
+        let g = triangle();
+        let (lg, map) = g.line_graph();
+        assert_eq!(lg.num_nodes(), 3);
+        assert_eq!(lg.num_edges(), 3);
+        assert_eq!(map.len(), 3);
+        for v in lg.nodes() {
+            assert_eq!(lg.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn line_graph_of_star_is_complete() {
+        // K_{1,4}: line graph is K_4.
+        let mut b = GraphBuilder::with_nodes(5);
+        for leaf in 1..5u32 {
+            b.add_edge(NodeId(0), NodeId(leaf));
+        }
+        let g = b.build();
+        let (lg, _) = g.line_graph();
+        assert_eq!(lg.num_nodes(), 4);
+        assert_eq!(lg.num_edges(), 6);
+    }
+
+    #[test]
+    fn line_graph_carries_edge_weights_to_node_weights() {
+        let mut b = GraphBuilder::with_nodes(3);
+        let e0 = b.add_edge(NodeId(0), NodeId(1));
+        let e1 = b.add_edge(NodeId(1), NodeId(2));
+        b.set_edge_weight(e0, 10);
+        b.set_edge_weight(e1, 20);
+        let g = b.build();
+        let (lg, map) = g.line_graph();
+        for v in lg.nodes() {
+            assert_eq!(lg.node_weight(v), g.edge_weight(map[v.index()]));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_drops_edges() {
+        let g = triangle();
+        let (sub, map) = g.induced_subgraph(&[true, true, false]);
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(map, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn edge_subgraph_keeps_all_nodes() {
+        let g = triangle();
+        let (sub, map) = g.edge_subgraph(&[true, false, false]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(map, vec![EdgeId(0)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "v3");
+        assert_eq!(EdgeId(7).to_string(), "e7");
+    }
+}

@@ -1,0 +1,302 @@
+use crate::{EdgeId, Graph, NodeId};
+
+/// A matching: a set of edges no two of which share an endpoint.
+///
+/// The structure maintains the per-node matched edge, so conflicting
+/// insertions are rejected in `O(1)` and mate lookups are `O(1)`.
+///
+/// # Example
+///
+/// ```
+/// use congest_graph::{generators, Matching};
+///
+/// let g = generators::path(4); // 0-1-2-3
+/// let mut m = Matching::new(&g);
+/// let e01 = g.find_edge(0.into(), 1.into()).unwrap();
+/// let e23 = g.find_edge(2.into(), 3.into()).unwrap();
+/// assert!(m.try_insert(&g, e01));
+/// assert!(m.try_insert(&g, e23));
+/// assert_eq!(m.len(), 2);
+/// assert!(m.is_maximal(&g));
+/// assert!(m.is_perfect(&g));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    /// `matched[v]` = the matching edge incident to `v`, if any.
+    matched: Vec<Option<EdgeId>>,
+    /// Number of matched edges.
+    size: usize,
+}
+
+impl Matching {
+    /// Creates an empty matching for `g`.
+    pub fn new(g: &Graph) -> Self {
+        Matching {
+            matched: vec![None; g.num_nodes()],
+            size: 0,
+        }
+    }
+
+    /// Number of matched edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the matching is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// The matching edge incident to `v`, if any.
+    #[inline]
+    pub fn matched_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.matched[v.index()]
+    }
+
+    /// Whether `v` is matched.
+    #[inline]
+    pub fn is_matched(&self, v: NodeId) -> bool {
+        self.matched[v.index()].is_some()
+    }
+
+    /// The node matched to `v`, if any.
+    pub fn mate(&self, g: &Graph, v: NodeId) -> Option<NodeId> {
+        self.matched[v.index()].map(|e| g.other_endpoint(e, v))
+    }
+
+    /// Whether edge `e` is in the matching.
+    pub fn contains(&self, g: &Graph, e: EdgeId) -> bool {
+        let (u, _) = g.endpoints(e);
+        self.matched[u.index()] == Some(e)
+    }
+
+    /// Attempts to insert edge `e`; returns `false` (leaving the matching
+    /// unchanged) if either endpoint is already matched.
+    pub fn try_insert(&mut self, g: &Graph, e: EdgeId) -> bool {
+        let (u, v) = g.endpoints(e);
+        if self.matched[u.index()].is_some() || self.matched[v.index()].is_some() {
+            return false;
+        }
+        self.matched[u.index()] = Some(e);
+        self.matched[v.index()] = Some(e);
+        self.size += 1;
+        true
+    }
+
+    /// Inserts edge `e`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is already matched.
+    pub fn insert(&mut self, g: &Graph, e: EdgeId) {
+        assert!(
+            self.try_insert(g, e),
+            "edge {e} conflicts with the current matching"
+        );
+    }
+
+    /// Removes edge `e` if present; returns whether it was present.
+    pub fn remove(&mut self, g: &Graph, e: EdgeId) -> bool {
+        if !self.contains(g, e) {
+            return false;
+        }
+        let (u, v) = g.endpoints(e);
+        self.matched[u.index()] = None;
+        self.matched[v.index()] = None;
+        self.size -= 1;
+        true
+    }
+
+    /// Iterator over the matched edges (ascending edge id order is *not*
+    /// guaranteed; collect and sort if needed).
+    pub fn edges<'a>(&'a self, g: &'a Graph) -> impl Iterator<Item = EdgeId> + 'a {
+        g.nodes().filter_map(move |v| {
+            let e = self.matched[v.index()]?;
+            // Report each edge once, from its smaller endpoint.
+            let (u, _) = g.endpoints(e);
+            (u == v).then_some(e)
+        })
+    }
+
+    /// Total weight of the matched edges.
+    pub fn weight(&self, g: &Graph) -> u64 {
+        self.edges(g).map(|e| g.edge_weight(e)).sum()
+    }
+
+    /// Verifies internal consistency against `g`. Always true for
+    /// matchings manipulated through this API; useful for matchings
+    /// reconstructed from algorithm transcripts.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        if self.matched.len() != g.num_nodes() {
+            return false;
+        }
+        let mut count = 0usize;
+        for v in g.nodes() {
+            if let Some(e) = self.matched[v.index()] {
+                if e.index() >= g.num_edges() || !g.is_incident(e, v) {
+                    return false;
+                }
+                let u = g.other_endpoint(e, v);
+                if self.matched[u.index()] != Some(e) {
+                    return false;
+                }
+                let (a, _) = g.endpoints(e);
+                if a == v {
+                    count += 1;
+                }
+            }
+        }
+        count == self.size
+    }
+
+    /// Whether no edge of `g` can be added to the matching.
+    pub fn is_maximal(&self, g: &Graph) -> bool {
+        g.edges().all(|e| {
+            let (u, v) = g.endpoints(e);
+            self.is_matched(u) || self.is_matched(v)
+        })
+    }
+
+    /// Whether every node is matched.
+    pub fn is_perfect(&self, g: &Graph) -> bool {
+        g.nodes().all(|v| self.is_matched(v))
+    }
+
+    /// Augments the matching along an alternating path given as a node
+    /// sequence `v0, v1, …, vp` (odd number of edges, endpoints free,
+    /// alternating non-matching/matching edges): removes the matched edges
+    /// on the path and inserts the unmatched ones, growing the matching by
+    /// exactly one edge (the `M ⊕ P` operation of Appendix B.2).
+    ///
+    /// # Panics
+    /// Panics if the sequence is not a valid augmenting path for the
+    /// current matching.
+    pub fn augment(&mut self, g: &Graph, path: &[NodeId]) {
+        assert!(path.len() >= 2 && path.len() % 2 == 0, "augmenting paths have odd length");
+        assert!(
+            !self.is_matched(path[0]) && !self.is_matched(path[path.len() - 1]),
+            "augmenting path endpoints must be free"
+        );
+        // Gather the edge sequence first so we fail before mutating.
+        let mut edges = Vec::with_capacity(path.len() - 1);
+        for (i, w) in path.windows(2).enumerate() {
+            let e = g
+                .find_edge(w[0], w[1])
+                .unwrap_or_else(|| panic!("path step {}-{} is not an edge", w[0], w[1]));
+            let in_matching = self.contains(g, e);
+            assert_eq!(
+                in_matching,
+                i % 2 == 1,
+                "path does not alternate at step {i} (edge {e})"
+            );
+            edges.push(e);
+        }
+        // Remove matched edges (odd positions), then add unmatched ones.
+        for (i, &e) in edges.iter().enumerate() {
+            if i % 2 == 1 {
+                assert!(self.remove(g, e));
+            }
+        }
+        for (i, &e) in edges.iter().enumerate() {
+            if i % 2 == 0 {
+                self.insert(g, e);
+            }
+        }
+    }
+
+    /// Builds a matching from an explicit edge list.
+    ///
+    /// # Panics
+    /// Panics if the edges do not form a matching.
+    pub fn from_edges(g: &Graph, edges: impl IntoIterator<Item = EdgeId>) -> Self {
+        let mut m = Matching::new(g);
+        for e in edges {
+            m.insert(g, e);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn insert_conflicts_rejected() {
+        let g = generators::path(3); // 0-1-2
+        let e01 = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e12 = g.find_edge(NodeId(1), NodeId(2)).unwrap();
+        let mut m = Matching::new(&g);
+        assert!(m.try_insert(&g, e01));
+        assert!(!m.try_insert(&g, e12));
+        assert_eq!(m.len(), 1);
+        assert!(m.is_valid(&g));
+        assert!(m.is_maximal(&g));
+        assert!(!m.is_perfect(&g));
+    }
+
+    #[test]
+    fn mate_and_remove() {
+        let g = generators::path(2);
+        let e = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let mut m = Matching::new(&g);
+        m.insert(&g, e);
+        assert_eq!(m.mate(&g, NodeId(0)), Some(NodeId(1)));
+        assert!(m.remove(&g, e));
+        assert!(!m.remove(&g, e));
+        assert_eq!(m.mate(&g, NodeId(0)), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn weight_sums_edge_weights() {
+        let mut g = generators::path(4);
+        let e01 = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e23 = g.find_edge(NodeId(2), NodeId(3)).unwrap();
+        g.set_edge_weight(e01, 5);
+        g.set_edge_weight(e23, 7);
+        let m = Matching::from_edges(&g, [e01, e23]);
+        assert_eq!(m.weight(&g), 12);
+        assert_eq!(m.edges(&g).count(), 2);
+    }
+
+    #[test]
+    fn augment_grows_matching_by_one() {
+        // Path 0-1-2-3 with middle edge matched; augment along the whole path.
+        let g = generators::path(4);
+        let e12 = g.find_edge(NodeId(1), NodeId(2)).unwrap();
+        let mut m = Matching::from_edges(&g, [e12]);
+        m.augment(&g, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(m.len(), 2);
+        assert!(m.is_perfect(&g));
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn augment_length_one_path() {
+        let g = generators::path(2);
+        let mut m = Matching::new(&g);
+        m.augment(&g, &[NodeId(0), NodeId(1)]);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be free")]
+    fn augment_rejects_matched_endpoint() {
+        let g = generators::path(3);
+        let e01 = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let mut m = Matching::from_edges(&g, [e01]);
+        m.augment(&g, &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alternate")]
+    fn augment_rejects_non_alternating() {
+        let g = generators::path(4);
+        let mut m = Matching::new(&g);
+        // 0-1-2-3 with no matched edges cannot be a length-3 augmenting path.
+        m.augment(&g, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+}

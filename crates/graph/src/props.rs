@@ -1,0 +1,195 @@
+//! Structural graph properties: connectivity, bipartiteness, components.
+
+use crate::{Graph, NodeId};
+
+/// A two-coloring witnessing bipartiteness; produced by
+/// [`Bipartition::of`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bipartition {
+    /// `side[v] == false` for the left (A) side, `true` for the right (B)
+    /// side. Isolated nodes are assigned to the left side.
+    side: Vec<bool>,
+}
+
+impl Bipartition {
+    /// Attempts to 2-color `g`; returns `None` iff `g` has an odd cycle.
+    pub fn of(g: &Graph) -> Option<Bipartition> {
+        let n = g.num_nodes();
+        let mut color: Vec<Option<bool>> = vec![None; n];
+        let mut queue = std::collections::VecDeque::new();
+        for start in g.nodes() {
+            if color[start.index()].is_some() {
+                continue;
+            }
+            color[start.index()] = Some(false);
+            queue.push_back(start);
+            while let Some(v) = queue.pop_front() {
+                let cv = color[v.index()].expect("queued nodes are colored");
+                for &(u, _) in g.neighbors(v) {
+                    match color[u.index()] {
+                        None => {
+                            color[u.index()] = Some(!cv);
+                            queue.push_back(u);
+                        }
+                        Some(cu) if cu == cv => return None,
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        Some(Bipartition {
+            side: color.into_iter().map(|c| c.unwrap_or(false)).collect(),
+        })
+    }
+
+    /// Builds a bipartition from an explicit side assignment (used when the
+    /// sides are decided by a protocol, e.g. the random red/blue coloring
+    /// of Appendix B.3/B.4).
+    ///
+    /// Note: this does **not** verify that the assignment is proper; use
+    /// [`is_proper`](Self::is_proper) if the input is untrusted.
+    pub fn from_sides(side: Vec<bool>) -> Bipartition {
+        Bipartition { side }
+    }
+
+    /// Whether `v` is on the right (B) side.
+    #[inline]
+    pub fn is_right(&self, v: NodeId) -> bool {
+        self.side[v.index()]
+    }
+
+    /// Whether `v` is on the left (A) side.
+    #[inline]
+    pub fn is_left(&self, v: NodeId) -> bool {
+        !self.side[v.index()]
+    }
+
+    /// Left-side nodes in ascending order.
+    pub fn left(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.side
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| (!s).then_some(NodeId(i as u32)))
+    }
+
+    /// Right-side nodes in ascending order.
+    pub fn right(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.side
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(NodeId(i as u32)))
+    }
+
+    /// Whether every edge of `g` crosses the partition.
+    pub fn is_proper(&self, g: &Graph) -> bool {
+        g.edges().all(|e| {
+            let (u, v) = g.endpoints(e);
+            self.side[u.index()] != self.side[v.index()]
+        })
+    }
+}
+
+impl Graph {
+    /// Whether the graph is connected (the empty graph is connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &(u, _) in self.neighbors(v) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Connected components as lists of node ids; components and their
+    /// members are in ascending order.
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.num_nodes();
+        let mut comp = vec![usize::MAX; n];
+        let mut components = Vec::new();
+        for start in self.nodes() {
+            if comp[start.index()] != usize::MAX {
+                continue;
+            }
+            let id = components.len();
+            let mut members = vec![start];
+            comp[start.index()] = id;
+            let mut stack = vec![start];
+            while let Some(v) = stack.pop() {
+                for &(u, _) in self.neighbors(v) {
+                    if comp[u.index()] == usize::MAX {
+                        comp[u.index()] = id;
+                        members.push(u);
+                        stack.push(u);
+                    }
+                }
+            }
+            members.sort_unstable();
+            components.push(members);
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn even_cycle_is_bipartite_odd_is_not() {
+        assert!(Bipartition::of(&generators::cycle(6)).is_some());
+        assert!(Bipartition::of(&generators::cycle(5)).is_none());
+    }
+
+    #[test]
+    fn bipartition_is_proper_and_partitions_nodes() {
+        let g = generators::complete_bipartite(3, 4);
+        let bp = Bipartition::of(&g).expect("K_{3,4} is bipartite");
+        assert!(bp.is_proper(&g));
+        assert_eq!(bp.left().count() + bp.right().count(), 7);
+    }
+
+    #[test]
+    fn from_sides_roundtrip() {
+        let g = generators::path(3);
+        let bp = Bipartition::from_sides(vec![false, true, false]);
+        assert!(bp.is_proper(&g));
+        assert!(bp.is_left(NodeId(0)));
+        assert!(bp.is_right(NodeId(1)));
+        let bad = Bipartition::from_sides(vec![false, false, false]);
+        assert!(!bad.is_proper(&g));
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(generators::path(10).is_connected());
+        let mut b = crate::GraphBuilder::with_nodes(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(2), NodeId(3));
+        let g = b.build();
+        assert!(!g.is_connected());
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![NodeId(0), NodeId(1)]);
+        assert_eq!(comps[1], vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = crate::GraphBuilder::new().build();
+        assert!(g.is_connected());
+        assert!(g.connected_components().is_empty());
+    }
+}

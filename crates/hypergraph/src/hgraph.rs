@@ -1,0 +1,184 @@
+use std::fmt;
+
+use congest_graph::NodeId;
+
+/// Identifier of a hyperedge in a [`Hypergraph`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct HyperedgeId(pub u32);
+
+impl HyperedgeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HyperedgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A hyperedge: a non-empty set of vertices (sorted, deduplicated).
+pub type Hyperedge = Vec<NodeId>;
+
+/// A hypergraph over vertices `0..n` with rank (maximum hyperedge size)
+/// tracked at construction.
+///
+/// Vertices are [`NodeId`]s so hyperedges built from graph structures
+/// (augmenting paths over a host graph) need no translation.
+#[derive(Clone, Debug)]
+pub struct Hypergraph {
+    num_vertices: usize,
+    edges: Vec<Hyperedge>,
+    /// `incidence[v]` = hyperedges containing vertex `v`.
+    incidence: Vec<Vec<HyperedgeId>>,
+    rank: usize,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph over `num_vertices` vertices.
+    ///
+    /// Hyperedges are sorted and deduplicated internally (a vertex listed
+    /// twice in one edge is collapsed).
+    ///
+    /// # Panics
+    /// Panics if any hyperedge is empty or references a vertex
+    /// `≥ num_vertices`.
+    pub fn new(num_vertices: usize, edges: Vec<Hyperedge>) -> Self {
+        let mut incidence = vec![Vec::new(); num_vertices];
+        let mut rank = 0;
+        let mut normalized = Vec::with_capacity(edges.len());
+        for (i, mut e) in edges.into_iter().enumerate() {
+            assert!(!e.is_empty(), "hyperedge {i} is empty");
+            e.sort_unstable();
+            e.dedup();
+            for &v in &e {
+                assert!(
+                    v.index() < num_vertices,
+                    "hyperedge {i} references out-of-range vertex {v}"
+                );
+                incidence[v.index()].push(HyperedgeId(i as u32));
+            }
+            rank = rank.max(e.len());
+            normalized.push(e);
+        }
+        Hypergraph {
+            num_vertices,
+            edges: normalized,
+            incidence,
+            rank,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of hyperedges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Maximum hyperedge size `d` (0 for an edgeless hypergraph).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Iterator over all hyperedge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = HyperedgeId> + '_ {
+        (0..self.edges.len() as u32).map(HyperedgeId)
+    }
+
+    /// Vertices of hyperedge `e` (sorted).
+    #[inline]
+    pub fn edge(&self, e: HyperedgeId) -> &[NodeId] {
+        &self.edges[e.index()]
+    }
+
+    /// Hyperedges containing vertex `v`.
+    #[inline]
+    pub fn incident(&self, v: NodeId) -> &[HyperedgeId] {
+        &self.incidence[v.index()]
+    }
+
+    /// Maximum number of hyperedges incident to any single vertex — the
+    /// "Δ" of the conflict structure.
+    pub fn max_vertex_degree(&self) -> usize {
+        self.incidence.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether hyperedges `a` and `b` share a vertex (their sorted vertex
+    /// lists are merged in `O(|a| + |b|)`).
+    pub fn intersects(&self, a: HyperedgeId, b: HyperedgeId) -> bool {
+        let (ea, eb) = (self.edge(a), self.edge(b));
+        let (mut i, mut j) = (0, 0);
+        while i < ea.len() && j < eb.len() {
+            match ea[i].cmp(&eb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hypergraph {
+        Hypergraph::new(
+            5,
+            vec![
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![NodeId(2), NodeId(3)],
+                vec![NodeId(4)],
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let h = sample();
+        assert_eq!(h.num_vertices(), 5);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.rank(), 3);
+        assert_eq!(h.edge(HyperedgeId(1)), &[NodeId(2), NodeId(3)]);
+        assert_eq!(h.incident(NodeId(2)), &[HyperedgeId(0), HyperedgeId(1)]);
+        assert_eq!(h.max_vertex_degree(), 2);
+    }
+
+    #[test]
+    fn intersections() {
+        let h = sample();
+        assert!(h.intersects(HyperedgeId(0), HyperedgeId(1)));
+        assert!(!h.intersects(HyperedgeId(0), HyperedgeId(2)));
+        assert!(h.intersects(HyperedgeId(2), HyperedgeId(2)));
+    }
+
+    #[test]
+    fn duplicate_vertices_collapse() {
+        let h = Hypergraph::new(3, vec![vec![NodeId(1), NodeId(1), NodeId(0)]]);
+        assert_eq!(h.edge(HyperedgeId(0)), &[NodeId(0), NodeId(1)]);
+        assert_eq!(h.rank(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn rejects_bad_vertex() {
+        Hypergraph::new(2, vec![vec![NodeId(5)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_edge() {
+        Hypergraph::new(2, vec![vec![]]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Low-rank hypergraphs and nearly-maximal hypergraph matching.
+//!
+//! Appendix B.2 of the paper reduces "(find a nearly-maximal set of
+//! vertex-disjoint length-`d` augmenting paths)" to *nearly-maximal
+//! matching in a rank-`d` hypergraph*: each augmenting path becomes a
+//! hyperedge over the graph's nodes, and a hypergraph matching (a set of
+//! hyperedges no two of which share a vertex) is exactly a set of
+//! vertex-disjoint paths.
+//!
+//! This crate supplies both pieces:
+//!
+//! * [`Hypergraph`] — a rank-bounded hypergraph over
+//!   [`NodeId`](congest_graph::NodeId)s.
+//! * [`nearly_maximal_matching`] — the marking algorithm of Appendix B.2:
+//!   per-hyperedge probabilities `p_t(e) = K^{-j}` that fall when the
+//!   intersecting-probability mass `Σ_{e'∩e≠∅} p_t(e')` is ≥ 2 and rise
+//!   (capped at `1/K`) otherwise, plus the *good-round* accounting that
+//!   deactivates each vertex after `Θ(dK² log 1/δ)` good rounds — the
+//!   mechanism behind Lemma B.3's deterministic guarantee that after
+//!   `O(d² log Δ / log log Δ)` iterations no hyperedge has all vertices
+//!   active.
+//!
+//! # Example
+//!
+//! ```
+//! use congest_graph::NodeId;
+//! use congest_hypergraph::{nearly_maximal_matching, Hypergraph, NmmParams};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // Three pairwise-intersecting triples plus one disjoint pair.
+//! let h = Hypergraph::new(7, vec![
+//!     vec![NodeId(0), NodeId(1), NodeId(2)],
+//!     vec![NodeId(2), NodeId(3), NodeId(4)],
+//!     vec![NodeId(4), NodeId(0), NodeId(1)],
+//!     vec![NodeId(5), NodeId(6)],
+//! ]);
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let out = nearly_maximal_matching(&h, &NmmParams::default_for(&h, 0.05), &mut rng);
+//! assert!(out.matching_is_disjoint(&h));
+//! ```
+
+mod hgraph;
+mod nmm;
+
+pub use hgraph::{Hyperedge, HyperedgeId, Hypergraph};
+pub use nmm::{graph_as_hypergraph, nearly_maximal_matching, NmmOutcome, NmmParams};

@@ -1,0 +1,359 @@
+//! Nearly-maximal matching in low-rank hypergraphs (Appendix B.2).
+//!
+//! Every hyperedge `e` carries a marking probability `p_t(e) = K^{-j}`;
+//! in each iteration marked hyperedges with no marked intersecting
+//! hyperedge join the matching and remove their vertices. Probabilities
+//! fall by `K` when the intersecting mass `Σ_{e'∩e≠∅} p_t(e')` reaches 2
+//! and rise by `K` (capped at `1/K`) otherwise. A vertex whose *light*
+//! incident probability mass is at least `1/(2dK²)` has a *good round*
+//! (Θ(1/(dK²)) removal chance, per the paper); vertices are deactivated
+//! after `Θ(dK² log 1/δ)` good rounds, which keeps each vertex's failure
+//! probability at δ while enabling Lemma B.3's deterministic guarantee:
+//! after `O(d² log Δ / log log Δ)` iterations no hyperedge survives with
+//! all vertices active.
+
+use congest_graph::NodeId;
+use rand::Rng;
+
+use crate::{Hyperedge, HyperedgeId, Hypergraph};
+
+/// Parameters for [`nearly_maximal_matching`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NmmParams {
+    /// Probability growth/decay factor `K ≥ 2`.
+    pub k: f64,
+    /// Good rounds a vertex may accumulate before deactivation
+    /// (`Θ(dK² log 1/δ)`).
+    pub good_round_cap: usize,
+    /// Iteration budget (`Θ(d² (K² log 1/δ + log_K Δ))`, Lemma B.3).
+    pub max_iterations: usize,
+}
+
+impl NmmParams {
+    /// Derives parameters from the hypergraph's rank `d` and conflict
+    /// degree `Δ` with per-vertex failure probability `δ = fail_prob`,
+    /// following Lemma B.3 with unit constants:
+    /// `K = 2`, cap `= ⌈d·K²·ln(1/δ)⌉`, iterations
+    /// `= ⌈d·(cap + 3d·log_K Δ)⌉ + d`.
+    pub fn default_for(h: &Hypergraph, fail_prob: f64) -> Self {
+        assert!((0.0..1.0).contains(&fail_prob), "fail probability must be in (0,1)");
+        let d = h.rank().max(1) as f64;
+        let delta = h.max_vertex_degree().max(2) as f64;
+        let k = 2.0f64;
+        let cap = (d * k * k * (1.0 / fail_prob).ln()).ceil() as usize;
+        let heavy_rounds = cap as f64 + 3.0 * d * delta.log2() / k.log2();
+        let max_iterations = (d * heavy_rounds).ceil() as usize + h.rank().max(1);
+        NmmParams {
+            k,
+            good_round_cap: cap.max(1),
+            max_iterations: max_iterations.max(4),
+        }
+    }
+}
+
+/// Result of a nearly-maximal hypergraph matching run.
+#[derive(Clone, Debug)]
+pub struct NmmOutcome {
+    /// The matched hyperedges (pairwise vertex-disjoint).
+    pub matching: Vec<HyperedgeId>,
+    /// `deactivated[v]`: `v` exceeded its good-round cap and was removed
+    /// without being covered (the δ-probability failure event).
+    pub deactivated: Vec<bool>,
+    /// `covered[v]`: a matched hyperedge contains `v`.
+    pub covered: Vec<bool>,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl NmmOutcome {
+    /// Whether the matching is vertex-disjoint in `h`.
+    pub fn matching_is_disjoint(&self, h: &Hypergraph) -> bool {
+        let mut seen = vec![false; h.num_vertices()];
+        for &e in &self.matching {
+            for &v in h.edge(e) {
+                if seen[v.index()] {
+                    return false;
+                }
+                seen[v.index()] = true;
+            }
+        }
+        true
+    }
+
+    /// Hyperedges with every vertex still active (neither covered nor
+    /// deactivated) — Lemma B.3 says this is empty given enough
+    /// iterations.
+    pub fn fully_active_edges(&self, h: &Hypergraph) -> Vec<HyperedgeId> {
+        h.edge_ids()
+            .filter(|&e| {
+                h.edge(e)
+                    .iter()
+                    .all(|&v| !self.covered[v.index()] && !self.deactivated[v.index()])
+            })
+            .collect()
+    }
+
+    /// Fraction of vertices deactivated (empirical δ).
+    pub fn deactivated_fraction(&self) -> f64 {
+        if self.deactivated.is_empty() {
+            return 0.0;
+        }
+        self.deactivated.iter().filter(|&&d| d).count() as f64 / self.deactivated.len() as f64
+    }
+}
+
+/// Runs the Appendix-B.2 nearly-maximal matching algorithm on `h`.
+///
+/// The simulation is centralized but iteration-faithful: everything each
+/// "iteration" does is implementable in `O(d)` CONGEST rounds on the host
+/// graph (that implementation is
+/// `congest_approx`'s `hk` module; this function is the reference used by
+/// its tests and by the LOCAL-model algorithm).
+pub fn nearly_maximal_matching<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    params: &NmmParams,
+    rng: &mut R,
+) -> NmmOutcome {
+    assert!(params.k >= 2.0, "K must be at least 2");
+    let n = h.num_vertices();
+    let m = h.num_edges();
+    let k = params.k;
+
+    // Probability exponents: p(e) = K^{-exp[e]}.
+    let mut exp = vec![1i32; m];
+    let mut edge_active = vec![true; m];
+    let mut vertex_active = vec![true; n];
+    let mut good_rounds = vec![0usize; n];
+    let mut covered = vec![false; n];
+    let mut deactivated = vec![false; n];
+    let mut matching = Vec::new();
+
+    // Scratch: dedup stamps for intersecting-mass sums.
+    let mut stamp = vec![u32::MAX; m];
+    let mut marked_count = vec![0u32; n];
+
+    let p_of = |exp: &[i32], e: usize| k.powi(-exp[e]);
+
+    let mut iterations = 0;
+    for it in 0..params.max_iterations {
+        let live_edges: Vec<usize> =
+            (0..m).filter(|&e| edge_active[e]).collect();
+        if live_edges.is_empty() {
+            break;
+        }
+        iterations = it + 1;
+
+        // 1. Intersecting probability mass per live edge (exact, deduped),
+        //    and lightness.
+        let mut mass = vec![0f64; m];
+        for &e in &live_edges {
+            let mut sum = 0.0;
+            for &v in h.edge(HyperedgeId(e as u32)) {
+                for &f in h.incident(v) {
+                    let fi = f.index();
+                    if edge_active[fi] && stamp[fi] != e as u32 {
+                        stamp[fi] = e as u32;
+                        sum += p_of(&exp, fi);
+                    }
+                }
+            }
+            mass[e] = sum;
+        }
+        let light = |e: usize| mass[e] < 2.0;
+
+        // 2. Mark and match.
+        let marked: Vec<usize> = live_edges
+            .iter()
+            .copied()
+            .filter(|&e| rng.random_bool(p_of(&exp, e).min(1.0)))
+            .collect();
+        for &e in &marked {
+            for &v in h.edge(HyperedgeId(e as u32)) {
+                marked_count[v.index()] += 1;
+            }
+        }
+        let mut newly_matched = Vec::new();
+        for &e in &marked {
+            let isolated = h
+                .edge(HyperedgeId(e as u32))
+                .iter()
+                .all(|&v| marked_count[v.index()] == 1);
+            if isolated {
+                newly_matched.push(e);
+            }
+        }
+        for &e in &marked {
+            for &v in h.edge(HyperedgeId(e as u32)) {
+                marked_count[v.index()] = 0;
+            }
+        }
+        for &e in &newly_matched {
+            matching.push(HyperedgeId(e as u32));
+            for &v in h.edge(HyperedgeId(e as u32)) {
+                covered[v.index()] = true;
+                vertex_active[v.index()] = false;
+                for &f in h.incident(v) {
+                    edge_active[f.index()] = false;
+                }
+            }
+        }
+
+        // 3. Good-round accounting and deactivation (using this
+        //    iteration's pre-matching probabilities).
+        for v in 0..n {
+            if !vertex_active[v] {
+                continue;
+            }
+            let d = h.rank().max(1) as f64;
+            let threshold = 1.0 / (2.0 * d * k * k);
+            let light_mass: f64 = h
+                .incident(NodeId(v as u32))
+                .iter()
+                .filter(|&&f| edge_active[f.index()] && light(f.index()))
+                .map(|&f| p_of(&exp, f.index()))
+                .sum();
+            if light_mass >= threshold {
+                good_rounds[v] += 1;
+                if good_rounds[v] > params.good_round_cap {
+                    deactivated[v] = true;
+                    vertex_active[v] = false;
+                    for &f in h.incident(NodeId(v as u32)) {
+                        edge_active[f.index()] = false;
+                    }
+                }
+            }
+        }
+
+        // 4. Probability updates for surviving edges.
+        for &e in &live_edges {
+            if !edge_active[e] {
+                continue;
+            }
+            if mass[e] >= 2.0 {
+                exp[e] += 1;
+            } else {
+                exp[e] = (exp[e] - 1).max(1);
+            }
+        }
+    }
+
+    NmmOutcome {
+        matching,
+        deactivated,
+        covered,
+        iterations,
+    }
+}
+
+/// Builds the rank-2 hypergraph whose hyperedges are the edges of a
+/// graph — nearly-maximal matching on it is nearly-maximal graph
+/// matching (used by tests to cross-check against graph baselines).
+pub fn graph_as_hypergraph(g: &congest_graph::Graph) -> Hypergraph {
+    let edges: Vec<Hyperedge> = g
+        .edges()
+        .map(|e| {
+            let (u, v) = g.endpoints(e);
+            vec![u, v]
+        })
+        .collect();
+    Hypergraph::new(g.num_nodes(), edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn run(h: &Hypergraph, fail: f64, seed: u64) -> NmmOutcome {
+        let params = NmmParams::default_for(h, fail);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        nearly_maximal_matching(h, &params, &mut rng)
+    }
+
+    #[test]
+    fn matching_is_always_disjoint() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for trial in 0..5 {
+            let g = generators::gnp(40, 0.15, &mut rng);
+            let h = graph_as_hypergraph(&g);
+            let out = run(&h, 0.05, trial);
+            assert!(out.matching_is_disjoint(&h), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn no_fully_active_edge_remains() {
+        // Lemma B.3: with the default budgets, every hyperedge loses an
+        // active vertex (covered or deactivated).
+        let mut rng = SmallRng::seed_from_u64(2);
+        for trial in 0..5 {
+            let g = generators::gnp(30, 0.2, &mut rng);
+            let h = graph_as_hypergraph(&g);
+            let out = run(&h, 0.1, 100 + trial);
+            assert!(
+                out.fully_active_edges(&h).is_empty(),
+                "trial {trial}: fully active edges remain"
+            );
+        }
+    }
+
+    #[test]
+    fn deactivation_is_rare() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::random_regular(100, 4, &mut rng);
+        let h = graph_as_hypergraph(&g);
+        let out = run(&h, 0.05, 7);
+        assert!(
+            out.deactivated_fraction() <= 0.25,
+            "deactivated fraction {} too high",
+            out.deactivated_fraction()
+        );
+    }
+
+    #[test]
+    fn rank3_disjoint_triples() {
+        // 4 disjoint triples: all must be matched (no conflicts at all).
+        let edges: Vec<Hyperedge> = (0..4)
+            .map(|i| (0..3).map(|j| NodeId(3 * i + j)).collect())
+            .collect();
+        let h = Hypergraph::new(12, edges);
+        let out = run(&h, 0.01, 9);
+        assert_eq!(out.matching.len(), 4);
+        assert!(out.fully_active_edges(&h).is_empty());
+    }
+
+    #[test]
+    fn sunflower_matches_at_most_one() {
+        // 6 triples all sharing vertex 0: at most one can match.
+        let edges: Vec<Hyperedge> = (0..6)
+            .map(|i| vec![NodeId(0), NodeId(1 + 2 * i), NodeId(2 + 2 * i)])
+            .collect();
+        let h = Hypergraph::new(13, edges);
+        let out = run(&h, 0.05, 11);
+        assert!(out.matching.len() <= 1);
+        assert!(out.matching_is_disjoint(&h));
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::new(5, vec![]);
+        let out = run(&h, 0.1, 1);
+        assert!(out.matching.is_empty());
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn params_scale_with_rank() {
+        let small = Hypergraph::new(4, vec![vec![NodeId(0), NodeId(1)]]);
+        let big = Hypergraph::new(
+            8,
+            vec![(0..8).map(NodeId).collect::<Vec<_>>()],
+        );
+        let ps = NmmParams::default_for(&small, 0.1);
+        let pb = NmmParams::default_for(&big, 0.1);
+        assert!(pb.good_round_cap > ps.good_round_cap);
+        assert!(pb.max_iterations > ps.max_iterations);
+    }
+}

@@ -1,0 +1,46 @@
+//! Distributed maximal and nearly-maximal independent set algorithms.
+//!
+//! These are the "MIS black boxes" the paper's Algorithm 2 plugs in
+//! (`O(MIS(G) · log W)` rounds for Δ-approximate MaxIS), and the engine
+//! behind its fast matching algorithms:
+//!
+//! * [`LubyMis`] — Luby's classic randomized MIS \[Lub86\]:
+//!   `O(log n)` rounds w.h.p., CONGEST-ready.
+//! * [`NearlyMaximalIs`] — the probability-adjusting nearly-maximal IS
+//!   framework of Ghaffari \[Gha16\], parameterized by the growth factor
+//!   `K`. With `K = 2` this is the original `O(log Δ + log 1/δ)`-round
+//!   algorithm; with `K = Θ(log^0.1 Δ)` it is the paper's improved
+//!   `O(log Δ / log log Δ)`-round variant (Section 3.1, Theorem 3.1).
+//! * [`GhaffariMis`] — the nearly-maximal algorithm looped to full
+//!   maximality (for use as an Algorithm-2 black box and in benches).
+//! * [`greedy_mis`] — sequential greedy baseline for verification.
+//!
+//! All distributed algorithms implement
+//! [`Protocol`](congest_sim::Protocol) and run on the
+//! [`congest_sim::Engine`]; outputs are [`MisResult`]s which can be
+//! checked with [`verify_mis`] / [`verify_nearly_maximal`].
+//!
+//! # Example
+//!
+//! ```
+//! use congest_graph::generators;
+//! use congest_sim::{run_protocol, SimConfig};
+//! use congest_mis::{verify_mis, LubyMis, MisResult};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(5);
+//! let g = generators::gnp(100, 0.08, &mut rng);
+//! let outcome = run_protocol(&g, SimConfig::congest_for(&g), |_| LubyMis::new(), 11);
+//! let results: Vec<MisResult> = outcome.into_outputs();
+//! verify_mis(&g, &results).expect("Luby always returns a maximal independent set");
+//! ```
+
+mod ghaffari;
+mod greedy;
+mod luby;
+mod result;
+
+pub use ghaffari::{nmis_iterations, GhaffariMis, NearlyMaximalIs, NmisParams};
+pub use greedy::greedy_mis;
+pub use luby::LubyMis;
+pub use result::{uncovered_fraction, verify_mis, verify_nearly_maximal, MisResult};

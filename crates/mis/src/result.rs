@@ -1,0 +1,132 @@
+use congest_graph::{Graph, IndependentSet, NodeId};
+
+/// Per-node outcome of an (nearly-)maximal independent set algorithm.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MisResult {
+    /// The node joined the independent set.
+    InSet,
+    /// A neighbor of the node joined the independent set.
+    Dominated,
+    /// The node ran out of iteration budget undecided (only possible for
+    /// *nearly*-maximal algorithms; Theorem 3.1 bounds the probability of
+    /// this outcome by δ per node).
+    Undecided,
+}
+
+impl MisResult {
+    /// Whether the node is in the set.
+    pub fn is_in_set(self) -> bool {
+        self == MisResult::InSet
+    }
+}
+
+/// Checks that `results` describes a *maximal* independent set of `g`:
+/// in-set nodes are pairwise non-adjacent, every dominated node has an
+/// in-set neighbor, and no node is undecided.
+///
+/// # Errors
+/// Returns a human-readable description of the first violation found.
+pub fn verify_mis(g: &Graph, results: &[MisResult]) -> Result<IndependentSet, String> {
+    let set = verify_nearly_maximal(g, results)?;
+    if let Some(v) = results.iter().position(|r| *r == MisResult::Undecided) {
+        return Err(format!("node v{v} is undecided, so the set is not maximal"));
+    }
+    Ok(set)
+}
+
+/// Checks the *nearly-maximal* contract: in-set nodes are pairwise
+/// non-adjacent and every [`MisResult::Dominated`] node really has an
+/// in-set neighbor. [`MisResult::Undecided`] nodes are allowed.
+///
+/// Returns the independent set on success.
+///
+/// # Errors
+/// Returns a human-readable description of the first violation found.
+pub fn verify_nearly_maximal(g: &Graph, results: &[MisResult]) -> Result<IndependentSet, String> {
+    if results.len() != g.num_nodes() {
+        return Err(format!(
+            "expected {} results, got {}",
+            g.num_nodes(),
+            results.len()
+        ));
+    }
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        if results[u.index()].is_in_set() && results[v.index()].is_in_set() {
+            return Err(format!("adjacent nodes {u} and {v} are both in the set"));
+        }
+    }
+    for (i, r) in results.iter().enumerate() {
+        if *r == MisResult::Dominated {
+            let v = NodeId(i as u32);
+            let covered = g
+                .neighbors(v)
+                .iter()
+                .any(|&(u, _)| results[u.index()].is_in_set());
+            if !covered {
+                return Err(format!("node {v} claims domination but has no in-set neighbor"));
+            }
+        }
+    }
+    Ok(IndependentSet::from_members(
+        g,
+        results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_in_set())
+            .map(|(i, _)| NodeId(i as u32)),
+    ))
+}
+
+/// Fraction of nodes left [`MisResult::Undecided`] — the empirical
+/// counterpart of the δ of Theorem 3.1.
+pub fn uncovered_fraction(results: &[MisResult]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    let undecided = results.iter().filter(|r| **r == MisResult::Undecided).count();
+    undecided as f64 / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    #[test]
+    fn verify_accepts_valid_mis() {
+        let g = generators::path(3);
+        let r = vec![MisResult::Dominated, MisResult::InSet, MisResult::Dominated];
+        let set = verify_mis(&g, &r).unwrap();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn verify_rejects_adjacent_members() {
+        let g = generators::path(2);
+        let r = vec![MisResult::InSet, MisResult::InSet];
+        assert!(verify_mis(&g, &r).unwrap_err().contains("both in the set"));
+    }
+
+    #[test]
+    fn verify_rejects_false_domination() {
+        let g = generators::path(2);
+        let r = vec![MisResult::Dominated, MisResult::Dominated];
+        assert!(verify_mis(&g, &r).unwrap_err().contains("no in-set neighbor"));
+    }
+
+    #[test]
+    fn verify_rejects_undecided_for_full_mis() {
+        let g = generators::path(2);
+        let r = vec![MisResult::InSet, MisResult::Undecided];
+        assert!(verify_mis(&g, &r).unwrap_err().contains("undecided"));
+        assert!(verify_nearly_maximal(&g, &r).is_ok());
+    }
+
+    #[test]
+    fn uncovered_fraction_counts() {
+        let r = vec![MisResult::InSet, MisResult::Undecided, MisResult::Undecided, MisResult::Dominated];
+        assert!((uncovered_fraction(&r) - 0.5).abs() < 1e-12);
+        assert_eq!(uncovered_fraction(&[]), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+use congest_graph::NodeId;
+use rand::rngs::SmallRng;
+
+use crate::{Message, NodeInfo, Port};
+
+/// Per-round execution context handed to a [`Protocol`](crate::Protocol).
+///
+/// Provides the node's static information, its private RNG, the current
+/// round number, and the send operations. The engine enforces the CONGEST
+/// discipline of *at most one message per port per round*.
+pub struct Context<'a, M: Message> {
+    pub(crate) info: &'a NodeInfo,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) round: usize,
+    pub(crate) outbox: &'a mut [Option<M>],
+}
+
+impl<'a, M: Message> Context<'a, M> {
+    /// This node's id.
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.info.id
+    }
+
+    /// This node's static information.
+    #[inline]
+    pub fn info(&self) -> &NodeInfo {
+        self.info
+    }
+
+    /// Degree of this node.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.info.degree()
+    }
+
+    /// Current round number (0 during `init`, then 1, 2, …).
+    #[inline]
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The node's private deterministic RNG.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Id of the neighbor behind `port`.
+    #[inline]
+    pub fn neighbor(&self, port: Port) -> NodeId {
+        self.info.neighbor_ids[port]
+    }
+
+    /// Weight of the incident edge at `port`.
+    #[inline]
+    pub fn edge_weight(&self, port: Port) -> u64 {
+        self.info.edge_weights[port]
+    }
+
+    /// Sends `msg` through `port` this round.
+    ///
+    /// # Panics
+    /// Panics if a message was already sent through `port` this round
+    /// (CONGEST permits one message per edge per round) or if `port` is out
+    /// of range.
+    pub fn send(&mut self, port: Port, msg: M) {
+        assert!(
+            self.outbox[port].is_none(),
+            "node {} sent two messages through port {} in round {}",
+            self.info.id,
+            port,
+            self.round
+        );
+        self.outbox[port] = Some(msg);
+    }
+
+    /// Sends a clone of `msg` through every port (a CONGEST-legal
+    /// broadcast: each edge still carries exactly one message).
+    ///
+    /// # Panics
+    /// Panics if any port already carries a message this round.
+    pub fn broadcast(&mut self, msg: M) {
+        for port in 0..self.outbox.len() {
+            self.send(port, msg.clone());
+        }
+    }
+
+    /// Sends a clone of `msg` through every port for which `filter`
+    /// returns true.
+    pub fn broadcast_filtered(&mut self, msg: M, mut filter: impl FnMut(Port) -> bool) {
+        for port in 0..self.outbox.len() {
+            if filter(port) {
+                self.send(port, msg.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::node_rng;
+
+    fn info() -> NodeInfo {
+        NodeInfo {
+            id: NodeId(3),
+            weight: 9,
+            neighbor_ids: vec![NodeId(1), NodeId(7)],
+            edge_weights: vec![4, 5],
+            n: 10,
+            max_degree: 3,
+            max_node_weight: 9,
+            max_edge_weight: 5,
+        }
+    }
+
+    #[test]
+    fn send_and_broadcast() {
+        let info = info();
+        let mut rng = node_rng(1, NodeId(3));
+        let mut outbox: Vec<Option<u64>> = vec![None, None];
+        let mut ctx = Context {
+            info: &info,
+            rng: &mut rng,
+            round: 1,
+            outbox: &mut outbox,
+        };
+        assert_eq!(ctx.neighbor(1), NodeId(7));
+        assert_eq!(ctx.edge_weight(0), 4);
+        ctx.send(0, 42);
+        assert_eq!(outbox[0], Some(42));
+        assert_eq!(outbox[1], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "two messages")]
+    fn double_send_panics() {
+        let info = info();
+        let mut rng = node_rng(1, NodeId(3));
+        let mut outbox: Vec<Option<u64>> = vec![None, None];
+        let mut ctx = Context {
+            info: &info,
+            rng: &mut rng,
+            round: 1,
+            outbox: &mut outbox,
+        };
+        ctx.send(0, 1);
+        ctx.send(0, 2);
+    }
+}

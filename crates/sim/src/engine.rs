@@ -1,0 +1,525 @@
+use congest_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+
+use crate::message::bits_for_count;
+use crate::rng::node_rng;
+use crate::{Context, Message, NodeInfo, Port, Protocol, Status};
+
+/// Simulation configuration: model (bit budget) and safety limits.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Per-message bit budget; `None` simulates the LOCAL model
+    /// (unbounded messages). Budget overruns are *recorded*, not fatal —
+    /// see [`RunStats::budget_violations`].
+    pub bit_budget: Option<usize>,
+    /// Hard cap on the number of rounds; nodes still active afterwards
+    /// produce `None` outputs and [`RunOutcome::completed`] is false.
+    pub max_rounds: usize,
+    /// Record every message as a [`MessageTrace`] (memory-hungry; meant
+    /// for congestion analyses on small graphs).
+    pub record_traces: bool,
+}
+
+impl SimConfig {
+    /// CONGEST configuration for graph `g`: per-message budget of
+    /// `8·(⌈log₂ n⌉ + max(⌈log₂ W⌉, ⌈log₂ n⌉))` bits, the usual reading of
+    /// "a constant number of ids and weights per message" with weights
+    /// polynomial in `n`.
+    pub fn congest_for(g: &Graph) -> Self {
+        let id_bits = bits_for_count(g.num_nodes().max(2));
+        let weight_bits = crate::bits_for_value(g.max_node_weight().max(g.max_edge_weight()))
+            .max(id_bits);
+        SimConfig {
+            bit_budget: Some(8 * (id_bits + weight_bits)),
+            max_rounds: 1_000_000,
+            record_traces: false,
+        }
+    }
+
+    /// LOCAL configuration: unbounded message size.
+    pub fn local() -> Self {
+        SimConfig {
+            bit_budget: None,
+            max_rounds: 1_000_000,
+            record_traces: false,
+        }
+    }
+
+    /// Returns the configuration with a different round cap.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Returns the configuration with message tracing enabled.
+    pub fn with_traces(mut self) -> Self {
+        self.record_traces = true;
+        self
+    }
+}
+
+/// One recorded message (requires [`SimConfig::record_traces`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageTrace {
+    /// Round in which the message was *sent*.
+    pub round: usize,
+    /// Sender node.
+    pub from: NodeId,
+    /// Receiver node.
+    pub to: NodeId,
+    /// Message size in bits.
+    pub bits: usize,
+}
+
+/// Aggregate statistics of a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of communication rounds executed (excluding `init`).
+    pub rounds: usize,
+    /// Total messages sent (including ones dropped at halted receivers).
+    pub total_messages: u64,
+    /// Largest message observed, in bits.
+    pub max_message_bits: usize,
+    /// Messages exceeding the configured bit budget.
+    pub budget_violations: u64,
+    /// Messages that arrived at nodes which had already halted.
+    pub dropped_messages: u64,
+}
+
+/// Result of running a protocol to completion (or to the round cap).
+#[derive(Clone, Debug)]
+pub struct RunOutcome<O> {
+    /// Per-node outputs; `None` for nodes still active when the round cap
+    /// was reached.
+    pub outputs: Vec<Option<O>>,
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    /// Whether every node halted before the round cap.
+    pub completed: bool,
+    /// Message traces, if [`SimConfig::record_traces`] was set.
+    pub traces: Vec<MessageTrace>,
+}
+
+impl<O> RunOutcome<O> {
+    /// Unwraps all outputs, panicking if any node failed to halt.
+    ///
+    /// # Panics
+    /// Panics if the run did not complete.
+    pub fn into_outputs(self) -> Vec<O> {
+        assert!(self.completed, "run hit the round cap before all nodes halted");
+        self.outputs
+            .into_iter()
+            .map(|o| o.expect("completed runs have all outputs"))
+            .collect()
+    }
+}
+
+/// Runs one [`Protocol`] instance per node of a graph.
+///
+/// Build with [`Engine::build`], execute with [`Engine::run`]. See the
+/// crate-level docs for an end-to-end example.
+pub struct Engine<'g, P: Protocol> {
+    graph: &'g Graph,
+    config: SimConfig,
+    infos: Vec<NodeInfo>,
+    /// `reverse_port[v][p]` = the port at `neighbor(v, p)` that leads back
+    /// to `v`; used to deliver into the receiver's port-indexed inbox.
+    reverse_port: Vec<Vec<Port>>,
+    nodes: Vec<P>,
+}
+
+impl<'g, P: Protocol> Engine<'g, P> {
+    /// Creates an engine, instantiating the protocol at every node via
+    /// `factory` (called in ascending node-id order).
+    pub fn build(
+        graph: &'g Graph,
+        config: SimConfig,
+        mut factory: impl FnMut(&NodeInfo) -> P,
+    ) -> Self {
+        let n = graph.num_nodes();
+        let max_degree = graph.max_degree();
+        let max_node_weight = graph.max_node_weight();
+        let max_edge_weight = graph.max_edge_weight();
+        let mut infos = Vec::with_capacity(n);
+        for v in graph.nodes() {
+            let neighbor_ids: Vec<NodeId> = graph.neighbors(v).iter().map(|&(u, _)| u).collect();
+            let edge_weights: Vec<u64> = graph
+                .neighbors(v)
+                .iter()
+                .map(|&(_, e)| graph.edge_weight(e))
+                .collect();
+            infos.push(NodeInfo {
+                id: v,
+                weight: graph.node_weight(v),
+                neighbor_ids,
+                edge_weights,
+                n,
+                max_degree,
+                max_node_weight,
+                max_edge_weight,
+            });
+        }
+        let mut reverse_port = Vec::with_capacity(n);
+        for v in graph.nodes() {
+            let mut row = Vec::with_capacity(graph.degree(v));
+            for &(u, _) in graph.neighbors(v) {
+                let back = graph
+                    .neighbors(u)
+                    .iter()
+                    .position(|&(w, _)| w == v)
+                    .expect("adjacency is symmetric");
+                row.push(back);
+            }
+            reverse_port.push(row);
+        }
+        let nodes = infos.iter().map(&mut factory).collect();
+        Engine {
+            graph,
+            config,
+            infos,
+            reverse_port,
+            nodes,
+        }
+    }
+
+    /// Runs the protocol to completion (all nodes halted) or to the round
+    /// cap, using `seed` to derive every node's private RNG.
+    pub fn run(mut self, seed: u64) -> RunOutcome<P::Output> {
+        let n = self.graph.num_nodes();
+        let mut rngs: Vec<SmallRng> = self
+            .graph
+            .nodes()
+            .map(|v| node_rng(seed, v))
+            .collect();
+        let mut outputs: Vec<Option<P::Output>> = vec![None; n];
+        let mut active: Vec<bool> = vec![true; n];
+        let mut active_count = n;
+        let mut stats = RunStats::default();
+        let mut traces = Vec::new();
+
+        // Inboxes for the *next* round, indexed by receiver.
+        let mut next_inbox: Vec<Vec<(Port, P::Msg)>> = vec![Vec::new(); n];
+
+        // Reusable outbox buffer sized to the max degree.
+        let mut outbox: Vec<Option<P::Msg>> = Vec::new();
+
+        // Round 0: init.
+        for v in 0..n {
+            outbox.clear();
+            outbox.resize(self.infos[v].degree(), None);
+            let mut ctx = Context {
+                info: &self.infos[v],
+                rng: &mut rngs[v],
+                round: 0,
+                outbox: &mut outbox,
+            };
+            self.nodes[v].init(&mut ctx);
+            Self::collect(
+                &self.config,
+                &self.infos[v],
+                &self.reverse_port[v],
+                &mut outbox,
+                &active,
+                &mut next_inbox,
+                &mut stats,
+                &mut traces,
+                0,
+            );
+        }
+
+        let mut inbox_buf: Vec<(Port, P::Msg)> = Vec::new();
+        while active_count > 0 && stats.rounds < self.config.max_rounds {
+            let round = stats.rounds + 1;
+            stats.rounds = round;
+            // Swap in this round's inboxes.
+            let mut inboxes = std::mem::take(&mut next_inbox);
+            next_inbox = vec![Vec::new(); n];
+            for v in 0..n {
+                if !active[v] {
+                    continue;
+                }
+                inbox_buf.clear();
+                inbox_buf.append(&mut inboxes[v]);
+                inbox_buf.sort_by_key(|&(p, _)| p);
+                outbox.clear();
+                outbox.resize(self.infos[v].degree(), None);
+                let mut ctx = Context {
+                    info: &self.infos[v],
+                    rng: &mut rngs[v],
+                    round,
+                    outbox: &mut outbox,
+                };
+                let status = self.nodes[v].round(&mut ctx, &inbox_buf);
+                Self::collect(
+                    &self.config,
+                    &self.infos[v],
+                    &self.reverse_port[v],
+                    &mut outbox,
+                    &active,
+                    &mut next_inbox,
+                    &mut stats,
+                    &mut traces,
+                    round,
+                );
+                if let Status::Halt(out) = status {
+                    outputs[v] = Some(out);
+                    active[v] = false;
+                    active_count -= 1;
+                }
+            }
+        }
+
+        RunOutcome {
+            outputs,
+            stats,
+            completed: active_count == 0,
+            traces,
+        }
+    }
+
+    /// Moves one node's outbox into the receivers' next-round inboxes,
+    /// updating statistics.
+    #[allow(clippy::too_many_arguments)]
+    fn collect(
+        config: &SimConfig,
+        info: &NodeInfo,
+        reverse_port: &[Port],
+        outbox: &mut [Option<P::Msg>],
+        active: &[bool],
+        next_inbox: &mut [Vec<(Port, P::Msg)>],
+        stats: &mut RunStats,
+        traces: &mut Vec<MessageTrace>,
+        round: usize,
+    ) {
+        for (port, slot) in outbox.iter_mut().enumerate() {
+            let Some(msg) = slot.take() else { continue };
+            let bits = msg.bit_size();
+            stats.total_messages += 1;
+            stats.max_message_bits = stats.max_message_bits.max(bits);
+            if let Some(budget) = config.bit_budget {
+                if bits > budget {
+                    stats.budget_violations += 1;
+                }
+            }
+            let to = info.neighbor_ids[port];
+            if config.record_traces {
+                traces.push(MessageTrace {
+                    round,
+                    from: info.id,
+                    to,
+                    bits,
+                });
+            }
+            if active[to.index()] {
+                next_inbox[to.index()].push((reverse_port[port], msg));
+            } else {
+                stats.dropped_messages += 1;
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: build and run in one call.
+///
+/// ```
+/// use congest_graph::generators;
+/// use congest_sim::{run_protocol, Context, Protocol, SimConfig, Status};
+///
+/// struct Degree;
+/// impl Protocol for Degree {
+///     type Msg = ();
+///     type Output = usize;
+///     fn init(&mut self, _ctx: &mut Context<'_, ()>) {}
+///     fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[(usize, ())])
+///         -> Status<usize>
+///     {
+///         Status::Halt(ctx.degree())
+///     }
+/// }
+///
+/// let g = generators::star(5);
+/// let outcome = run_protocol(&g, SimConfig::local(), |_| Degree, 1);
+/// assert_eq!(outcome.outputs[0], Some(4));
+/// ```
+pub fn run_protocol<P: Protocol>(
+    graph: &Graph,
+    config: SimConfig,
+    factory: impl FnMut(&NodeInfo) -> P,
+    seed: u64,
+) -> RunOutcome<P::Output> {
+    Engine::build(graph, config, factory).run(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    /// Each node halts immediately, outputting its degree.
+    struct InstantHalt;
+    impl Protocol for InstantHalt {
+        type Msg = ();
+        type Output = usize;
+        fn init(&mut self, _ctx: &mut Context<'_, ()>) {}
+        fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[(Port, ())]) -> Status<usize> {
+            Status::Halt(ctx.degree())
+        }
+    }
+
+    /// Echoes its id to all neighbors each round; halts after collecting
+    /// all neighbor ids (which takes exactly one exchange).
+    struct Census {
+        heard: Vec<NodeId>,
+    }
+    impl Protocol for Census {
+        type Msg = u32;
+        type Output = Vec<NodeId>;
+        fn init(&mut self, ctx: &mut Context<'_, u32>) {
+            let id = ctx.id().0;
+            ctx.broadcast(id);
+        }
+        fn round(
+            &mut self,
+            _ctx: &mut Context<'_, u32>,
+            inbox: &[(Port, u32)],
+        ) -> Status<Vec<NodeId>> {
+            for &(_, id) in inbox {
+                self.heard.push(NodeId(id));
+            }
+            self.heard.sort_unstable();
+            Status::Halt(self.heard.clone())
+        }
+    }
+
+    #[test]
+    fn instant_halt_runs_one_round() {
+        let g = generators::cycle(5);
+        let outcome = run_protocol(&g, SimConfig::local(), |_| InstantHalt, 0);
+        assert!(outcome.completed);
+        assert_eq!(outcome.stats.rounds, 1);
+        assert_eq!(outcome.stats.total_messages, 0);
+        assert!(outcome.outputs.iter().all(|o| *o == Some(2)));
+    }
+
+    #[test]
+    fn census_learns_neighbor_ids() {
+        let g = generators::star(4);
+        let outcome = run_protocol(
+            &g,
+            SimConfig::congest_for(&g),
+            |_| Census { heard: Vec::new() },
+            7,
+        );
+        assert!(outcome.completed);
+        let outputs = outcome.outputs;
+        assert_eq!(
+            outputs[0].as_ref().unwrap(),
+            &vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+        for leaf in 1..4 {
+            assert_eq!(outputs[leaf].as_ref().unwrap(), &vec![NodeId(0)]);
+        }
+    }
+
+    #[test]
+    fn message_stats_counted() {
+        let g = generators::complete(4);
+        let outcome = run_protocol(
+            &g,
+            SimConfig::congest_for(&g),
+            |_| Census { heard: Vec::new() },
+            7,
+        );
+        // Every node broadcasts once at init: 4 nodes × 3 ports.
+        assert_eq!(outcome.stats.total_messages, 12);
+        assert_eq!(outcome.stats.budget_violations, 0);
+        assert!(outcome.stats.max_message_bits >= 1);
+    }
+
+    /// A protocol that never halts, to exercise the round cap.
+    struct Forever;
+    impl Protocol for Forever {
+        type Msg = ();
+        type Output = ();
+        fn init(&mut self, _ctx: &mut Context<'_, ()>) {}
+        fn round(&mut self, _ctx: &mut Context<'_, ()>, _inbox: &[(Port, ())]) -> Status<()> {
+            Status::Active
+        }
+    }
+
+    #[test]
+    fn round_cap_respected() {
+        let g = generators::path(3);
+        let outcome = run_protocol(&g, SimConfig::local().with_max_rounds(10), |_| Forever, 0);
+        assert!(!outcome.completed);
+        assert_eq!(outcome.stats.rounds, 10);
+        assert!(outcome.outputs.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn traces_record_messages() {
+        let g = generators::path(2);
+        let outcome = run_protocol(
+            &g,
+            SimConfig::local().with_traces(),
+            |_| Census { heard: Vec::new() },
+            3,
+        );
+        assert_eq!(outcome.traces.len(), 2);
+        assert_eq!(outcome.traces[0].round, 0);
+        assert_eq!(outcome.traces[0].from, NodeId(0));
+        assert_eq!(outcome.traces[0].to, NodeId(1));
+    }
+
+    #[test]
+    fn messages_to_halted_nodes_are_dropped() {
+        // Node 0 halts in round 1; its neighbor keeps broadcasting in
+        // rounds 1 and 2, so one message (sent in round 1, delivered in
+        // round 2) arrives after node 0 halted... actually node 0 halts at
+        // round 1 after sending; node 1's round-1 message to node 0 is sent
+        // while node 0 is still active but delivered after its halt.
+        struct HaltFirst;
+        impl Protocol for HaltFirst {
+            type Msg = u32;
+            type Output = ();
+            fn init(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.broadcast(0);
+            }
+            fn round(&mut self, ctx: &mut Context<'_, u32>, _inbox: &[(Port, u32)]) -> Status<()> {
+                if ctx.id().0 == 0 || ctx.round() >= 2 {
+                    Status::Halt(())
+                } else {
+                    ctx.broadcast(1);
+                    Status::Active
+                }
+            }
+        }
+        let g = generators::path(2);
+        let outcome = run_protocol(&g, SimConfig::local(), |_| HaltFirst, 0);
+        assert!(outcome.completed);
+        assert_eq!(outcome.stats.dropped_messages, 1);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use rand::Rng;
+        struct Roll;
+        impl Protocol for Roll {
+            type Msg = ();
+            type Output = u64;
+            fn init(&mut self, _ctx: &mut Context<'_, ()>) {}
+            fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[(Port, ())]) -> Status<u64> {
+                Status::Halt(ctx.rng().random())
+            }
+        }
+        let g = generators::cycle(6);
+        let a = run_protocol(&g, SimConfig::local(), |_| Roll, 99);
+        let b = run_protocol(&g, SimConfig::local(), |_| Roll, 99);
+        let c = run_protocol(&g, SimConfig::local(), |_| Roll, 100);
+        let ax: Vec<_> = a.outputs.iter().map(|o| o.unwrap()).collect();
+        let bx: Vec<_> = b.outputs.iter().map(|o| o.unwrap()).collect();
+        let cx: Vec<_> = c.outputs.iter().map(|o| o.unwrap()).collect();
+        assert_eq!(ax, bx);
+        assert_ne!(ax, cx);
+    }
+}

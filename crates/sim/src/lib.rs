@@ -1,0 +1,76 @@
+//! Synchronous message-passing simulator for the CONGEST and LOCAL models.
+//!
+//! The classic CONGEST model ([Peleg, *Distributed Computing: A
+//! Locality-Sensitive Approach*]) has the `n` nodes of a graph communicate
+//! in synchronous rounds; per round, each node may send one `O(log n)`-bit
+//! message along each incident edge. The LOCAL model is identical but with
+//! unbounded message sizes.
+//!
+//! This crate simulates both models deterministically:
+//!
+//! * [`Protocol`] — the per-node algorithm: an `init` step and a `round`
+//!   step that reads the inbox and sends messages through [`Context`].
+//! * [`Engine`] — runs a protocol instance on every node of a
+//!   [`Graph`](congest_graph::Graph), delivering messages with one-round
+//!   latency, until all nodes halt (or a round cap is hit).
+//! * [`Message`] — messages carry a *bit size* so the engine can meter the
+//!   CONGEST `O(log n)` budget ([`RunStats::max_message_bits`],
+//!   [`RunStats::budget_violations`]).
+//! * Reproducibility — every node derives its own RNG from the master seed
+//!   via [`rng::node_rng`], so runs are bit-for-bit repeatable.
+//!
+//! Nodes address each other through *ports* (indices into their adjacency
+//! list); they know their own id, weight, degree, per-port edge weights and
+//! neighbor ids, plus the standard global parameters `n` and `Δ`.
+//!
+//! # Example: flood a token from node 0
+//!
+//! ```
+//! use congest_graph::generators;
+//! use congest_sim::{Context, Engine, Message, Protocol, SimConfig, Status};
+//!
+//! #[derive(Clone, Debug)]
+//! struct Token;
+//! impl Message for Token {
+//!     fn bit_size(&self) -> usize { 1 }
+//! }
+//!
+//! struct Flood { seen: bool }
+//! impl Protocol for Flood {
+//!     type Msg = Token;
+//!     type Output = bool;
+//!     fn init(&mut self, ctx: &mut Context<'_, Token>) {
+//!         if ctx.id().0 == 0 {
+//!             self.seen = true;
+//!             ctx.broadcast(Token);
+//!         }
+//!     }
+//!     fn round(&mut self, ctx: &mut Context<'_, Token>, inbox: &[(usize, Token)])
+//!         -> Status<bool>
+//!     {
+//!         if !self.seen && !inbox.is_empty() {
+//!             self.seen = true;
+//!             ctx.broadcast(Token);
+//!         }
+//!         if self.seen { Status::Halt(true) } else { Status::Active }
+//!     }
+//! }
+//!
+//! let g = generators::path(5);
+//! let outcome = Engine::build(&g, SimConfig::congest_for(&g), |_| Flood { seen: false })
+//!     .run(0xC0FFEE);
+//! assert!(outcome.completed);
+//! assert_eq!(outcome.stats.rounds, 4); // diameter of P_5
+//! ```
+
+mod context;
+mod engine;
+mod message;
+mod protocol;
+
+pub mod rng;
+
+pub use context::Context;
+pub use engine::{run_protocol, Engine, MessageTrace, RunOutcome, RunStats, SimConfig};
+pub use message::{bits_for_count, bits_for_value, Message};
+pub use protocol::{NodeInfo, Port, Protocol, Status};

@@ -1,0 +1,129 @@
+use std::fmt::Debug;
+
+/// A message exchanged between neighboring nodes.
+///
+/// Besides being cloneable (the engine duplicates broadcasts), messages
+/// report their size in bits so the engine can meter the CONGEST budget.
+/// Sizes should reflect the *information content* an actual implementation
+/// would transmit — e.g. a node weight in `[1, W]` costs
+/// `⌈log₂(W+1)⌉` bits ([`bits_for_value`]), not the 64 bits of its `u64`
+/// in-memory representation.
+pub trait Message: Clone + Debug {
+    /// Size of this message in bits, for CONGEST accounting.
+    fn bit_size(&self) -> usize;
+}
+
+/// Number of bits needed to write the value `x` in binary (`0 → 1`).
+///
+/// ```
+/// use congest_sim::bits_for_value;
+/// assert_eq!(bits_for_value(0), 1);
+/// assert_eq!(bits_for_value(1), 1);
+/// assert_eq!(bits_for_value(255), 8);
+/// assert_eq!(bits_for_value(256), 9);
+/// ```
+pub fn bits_for_value(x: u64) -> usize {
+    (64 - x.leading_zeros()).max(1) as usize
+}
+
+/// Number of bits needed to index into a domain of `count` values
+/// (`⌈log₂ count⌉`, with a minimum of 1).
+///
+/// ```
+/// use congest_sim::bits_for_count;
+/// assert_eq!(bits_for_count(1), 1);
+/// assert_eq!(bits_for_count(2), 1);
+/// assert_eq!(bits_for_count(1024), 10);
+/// assert_eq!(bits_for_count(1025), 11);
+/// ```
+pub fn bits_for_count(count: usize) -> usize {
+    if count <= 2 {
+        1
+    } else {
+        (usize::BITS - (count - 1).leading_zeros()) as usize
+    }
+}
+
+impl Message for () {
+    fn bit_size(&self) -> usize {
+        0
+    }
+}
+
+impl Message for bool {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+impl Message for u32 {
+    fn bit_size(&self) -> usize {
+        bits_for_value(u64::from(*self))
+    }
+}
+
+impl Message for u64 {
+    fn bit_size(&self) -> usize {
+        bits_for_value(*self)
+    }
+}
+
+impl Message for f64 {
+    /// Floating-point payloads are charged 64 bits. Protocols with a
+    /// documented lower precision (e.g. the `O(log Δ / ε²)`-bit attenuation
+    /// values of Appendix B.3) should wrap the value in their own message
+    /// type and report the documented width.
+    fn bit_size(&self) -> usize {
+        64
+    }
+}
+
+impl<T: Message> Message for Option<T> {
+    fn bit_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, Message::bit_size)
+    }
+}
+
+impl<A: Message, B: Message> Message for (A, B) {
+    fn bit_size(&self) -> usize {
+        self.0.bit_size() + self.1.bit_size()
+    }
+}
+
+impl<A: Message, B: Message, C: Message> Message for (A, B, C) {
+    fn bit_size(&self) -> usize {
+        self.0.bit_size() + self.1.bit_size() + self.2.bit_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_bits() {
+        assert_eq!(bits_for_value(0), 1);
+        assert_eq!(bits_for_value(7), 3);
+        assert_eq!(bits_for_value(8), 4);
+        assert_eq!(bits_for_value(u64::MAX), 64);
+    }
+
+    #[test]
+    fn count_bits() {
+        assert_eq!(bits_for_count(1), 1);
+        assert_eq!(bits_for_count(3), 2);
+        assert_eq!(bits_for_count(4), 2);
+        assert_eq!(bits_for_count(5), 3);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!(().bit_size(), 0);
+        assert_eq!(true.bit_size(), 1);
+        assert_eq!(5u64.bit_size(), 3);
+        assert_eq!(Some(5u64).bit_size(), 4);
+        assert_eq!(None::<u64>.bit_size(), 1);
+        assert_eq!((true, 5u64).bit_size(), 4);
+        assert_eq!((true, 5u64, 2u32).bit_size(), 6);
+    }
+}

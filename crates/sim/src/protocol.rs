@@ -1,0 +1,90 @@
+use std::fmt::Debug;
+
+use congest_graph::NodeId;
+
+use crate::{Context, Message};
+
+/// A port: the local index of an incident edge at a node (`0..degree`).
+///
+/// Ports are how nodes address their neighbors — a node does not know the
+/// global topology, only that "port 3 leads to some neighbor" (whose id and
+/// edge weight it does learn, as is standard in CONGEST where ids fit in a
+/// single message).
+pub type Port = usize;
+
+/// Immutable per-node information available to a protocol.
+///
+/// Everything here is knowledge a CONGEST node legitimately has after at
+/// most one communication round: its own id/weight/degree, its neighbors'
+/// ids and the weights of its incident edges (exchanged in one round), and
+/// the global parameters `n`, `Δ` and `W` that the paper's algorithms
+/// assume are common knowledge.
+#[derive(Clone, Debug)]
+pub struct NodeInfo {
+    /// This node's globally unique id.
+    pub id: NodeId,
+    /// This node's weight.
+    pub weight: u64,
+    /// Neighbor id reachable through each port.
+    pub neighbor_ids: Vec<NodeId>,
+    /// Weight of the incident edge at each port.
+    pub edge_weights: Vec<u64>,
+    /// Total number of nodes `n`.
+    pub n: usize,
+    /// Maximum degree `Δ` of the graph.
+    pub max_degree: usize,
+    /// Maximum node weight `W` in the graph.
+    pub max_node_weight: u64,
+    /// Maximum edge weight in the graph.
+    pub max_edge_weight: u64,
+}
+
+impl NodeInfo {
+    /// Degree of this node.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.neighbor_ids.len()
+    }
+}
+
+/// Outcome of a protocol round at one node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Status<O> {
+    /// Keep participating in future rounds.
+    Active,
+    /// Stop; `O` is this node's final output. Messages sent in the halting
+    /// round are still delivered to neighbors in the next round.
+    Halt(O),
+}
+
+impl<O> Status<O> {
+    /// Whether this is [`Status::Halt`].
+    pub fn is_halt(&self) -> bool {
+        matches!(self, Status::Halt(_))
+    }
+}
+
+/// The per-node algorithm run by the [`Engine`](crate::Engine).
+///
+/// One instance of the implementing type is created per node (via the
+/// factory closure passed to [`Engine::build`](crate::Engine::build)). The
+/// engine calls [`init`](Protocol::init) once before any communication,
+/// then [`round`](Protocol::round) every synchronous round with the
+/// messages sent by neighbors in the previous round.
+pub trait Protocol {
+    /// Message type exchanged by this protocol.
+    type Msg: Message;
+    /// Per-node output on halting.
+    type Output: Clone + Debug;
+
+    /// Round 0: inspect [`Context`], initialize state, optionally send.
+    fn init(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// One synchronous round: `inbox` holds `(port, message)` pairs sorted
+    /// by port. Return [`Status::Halt`] to stop participating.
+    fn round(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg>,
+        inbox: &[(Port, Self::Msg)],
+    ) -> Status<Self::Output>;
+}

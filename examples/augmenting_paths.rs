@@ -1,0 +1,90 @@
+//! Figure 1 reproduction: counting shortest augmenting paths in a
+//! bipartite graph by forward/backward traversal (Claims B.5/B.6).
+//!
+//! Builds a layered bipartite graph with a partial matching, runs the
+//! `2d`-round traversal, prints the per-node path counts as an ASCII
+//! layer diagram, and cross-checks every count against explicit DFS
+//! enumeration.
+//!
+//! Run with: `cargo run --example augmenting_paths`
+
+use congest_approx::hk::{count_paths, enumerate_augmenting_paths};
+use congest_graph::{Bipartition, GraphBuilder, Matching, NodeId};
+
+fn main() {
+    // A = {0..5}, B = {6..11}; matching pairs (1,7), (2,8), (4,10).
+    let mut b = GraphBuilder::with_nodes(12);
+    let a = |i: u32| NodeId(i);
+    let bb = |i: u32| NodeId(6 + i);
+    // Free A-nodes: 0, 3, 5. Free B-nodes: 6, 9, 11.
+    let edges = [
+        (a(0), bb(1)), // 0–7
+        (a(0), bb(2)), // 0–8
+        (a(3), bb(2)), // 3–8
+        (a(3), bb(4)), // 3–10
+        (a(5), bb(4)), // 5–10
+        (a(1), bb(0)), // 1–6
+        (a(1), bb(3)), // 1–9
+        (a(2), bb(3)), // 2–9
+        (a(2), bb(5)), // 2–11
+        (a(4), bb(5)), // 4–11
+        (a(1), bb(1)), // matching 1–7
+        (a(2), bb(2)), // matching 2–8
+        (a(4), bb(4)), // matching 4–10
+    ];
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    let g = b.build();
+    let bp = Bipartition::from_sides((0..12).map(|i| i >= 6).collect());
+    let m = Matching::from_edges(
+        &g,
+        [
+            g.find_edge(a(1), bb(1)).unwrap(),
+            g.find_edge(a(2), bb(2)).unwrap(),
+            g.find_edge(a(4), bb(4)).unwrap(),
+        ],
+    );
+
+    println!("bipartite graph: A = v0..v5, B = v6..v11");
+    println!("matching: 1–7, 2–8, 4–10; free A: 0,3,5; free B: 6,9,11\n");
+
+    let d = 3;
+    let trav = count_paths(&g, &bp, &m, d);
+    println!(
+        "forward/backward traversal for length-{d} augmenting paths ({} CONGEST rounds):\n",
+        trav.rounds
+    );
+    println!("depth | nodes (count of length-3 augmenting paths through)");
+    println!("------|------------------------------------------------------");
+    for depth in 0..=d {
+        let row: Vec<String> = g
+            .nodes()
+            .filter(|v| trav.dist[v.index()] == Some(depth))
+            .map(|v| format!("{v}:{}", trav.through[v.index()]))
+            .collect();
+        println!("{depth:>5} | {}", row.join("  "));
+    }
+
+    // Cross-check against explicit enumeration.
+    let active = vec![true; g.num_nodes()];
+    let paths = enumerate_augmenting_paths(&g, &m, &active, d, 10_000);
+    println!("\nDFS enumeration finds {} length-3 augmenting paths:", paths.len());
+    for p in &paths {
+        let s: Vec<String> = p.iter().map(|v| v.to_string()).collect();
+        println!("  {}", s.join(" → "));
+    }
+    let mut brute = vec![0.0; g.num_nodes()];
+    for p in &paths {
+        for v in p {
+            brute[v.index()] += 1.0;
+        }
+    }
+    for v in g.nodes() {
+        assert!(
+            (brute[v.index()] - trav.through[v.index()]).abs() < 1e-9,
+            "count mismatch at {v}"
+        );
+    }
+    println!("\ntraversal counts match enumeration at every node ✓ (Claims B.5/B.6)");
+}

@@ -1,0 +1,82 @@
+//! Quickstart: the paper's two headline results on one random graph.
+//!
+//! Builds a weighted random graph, runs the Δ-approximate MaxIS
+//! (Algorithm 2, randomized and Algorithm 3, deterministic) and the
+//! 2-approximate maximum weight matching (Theorem 2.10), and prints the
+//! round counts and solution qualities next to greedy baselines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use congest_approx::matching::{mwm_lr_deterministic, mwm_lr_randomized};
+use congest_approx::maxis::{alg2, alg3, Alg2Config};
+use congest_exact::{greedy_matching, greedy_mwis};
+use congest_graph::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = 2017;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = generators::gnp(200, 0.04, &mut rng);
+    generators::randomize_node_weights(&mut g, 1 << 10, &mut rng);
+    generators::randomize_edge_weights(&mut g, 1 << 10, &mut rng);
+
+    println!(
+        "graph: n = {}, m = {}, Δ = {}, W = {}",
+        g.num_nodes(),
+        g.num_edges(),
+        g.max_degree(),
+        g.max_node_weight()
+    );
+    println!();
+
+    // --- Δ-approximate maximum weight independent set -------------------
+    let run2 = alg2(&g, &Alg2Config::default(), seed);
+    let run3 = alg3(&g);
+    let greedy_is = greedy_mwis(&g);
+    println!("MaxIS (Δ-approximation, Δ = {}):", g.max_degree());
+    println!(
+        "  Algorithm 2 (randomized): weight {:>8}  rounds {:>5}  max-msg {} bits",
+        run2.independent_set.weight(&g),
+        run2.rounds,
+        run2.stats.max_message_bits
+    );
+    println!(
+        "  Algorithm 3 (determin.) : weight {:>8}  rounds {:>5}  (coloring {} + LR {})",
+        run3.independent_set.weight(&g),
+        run3.rounds,
+        run3.coloring_rounds,
+        run3.local_ratio_rounds
+    );
+    println!(
+        "  greedy baseline         : weight {:>8}",
+        greedy_is.weight(&g)
+    );
+    assert!(run2.independent_set.is_independent(&g));
+    assert!(run3.independent_set.is_independent(&g));
+    println!();
+
+    // --- 2-approximate maximum weight matching --------------------------
+    let m_rand = mwm_lr_randomized(&g, &Alg2Config::default(), seed);
+    let m_det = mwm_lr_deterministic(&g);
+    let m_greedy = greedy_matching(&g);
+    println!("Maximum weight matching (2-approximation via L(G)):");
+    println!(
+        "  local ratio (randomized): weight {:>8}  line rounds {:>5}  physical {:>5}",
+        m_rand.matching.weight(&g),
+        m_rand.line_rounds,
+        m_rand.physical_rounds
+    );
+    println!(
+        "  local ratio (determin.) : weight {:>8}  line rounds {:>5}  physical {:>5}",
+        m_det.matching.weight(&g),
+        m_det.line_rounds,
+        m_det.physical_rounds
+    );
+    println!(
+        "  greedy baseline         : weight {:>8}",
+        m_greedy.weight(&g)
+    );
+    assert!(m_rand.matching.is_valid(&g));
+    assert!(m_det.matching.is_valid(&g));
+}

@@ -1,0 +1,121 @@
+//! Model-conformance tests: CONGEST bit budgets, determinism, and the
+//! Theorem 2.8 equivalence between line-graph execution strategies.
+
+use congest_approx::line::{run_aggregated, run_on_explicit_line_graph, EdgeInfo, EdgeProtocol};
+use congest_approx::maxis::{alg2, alg3, Alg2Config, MisBox};
+use congest_coloring::deterministic_delta_plus_one;
+use congest_mis::{GhaffariMis, LubyMis};
+use congest_sim::{run_protocol, SimConfig};
+use integration_tests::corpus;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+#[test]
+fn congest_budget_respected_by_all_node_protocols() {
+    for (name, g) in corpus(10, 64) {
+        let r2 = alg2(&g, &Alg2Config::default(), 1);
+        assert_eq!(r2.stats.budget_violations, 0, "{name}: alg2");
+        let r2g = alg2(
+            &g,
+            &Alg2Config {
+                mis_box: MisBox::Ghaffari { k: 2.0 },
+            },
+            1,
+        );
+        assert_eq!(r2g.stats.budget_violations, 0, "{name}: alg2/ghaffari");
+        let r3 = alg3(&g);
+        assert_eq!(r3.stats.budget_violations, 0, "{name}: alg3");
+        let luby = run_protocol(&g, SimConfig::congest_for(&g), |_| LubyMis::new(), 1);
+        assert_eq!(luby.stats.budget_violations, 0, "{name}: luby");
+        let gh = run_protocol(&g, SimConfig::congest_for(&g), |_| GhaffariMis::with_k(2.0), 1);
+        assert_eq!(gh.stats.budget_violations, 0, "{name}: ghaffari");
+        let col = deterministic_delta_plus_one(&g);
+        assert_eq!(col.stats.budget_violations, 0, "{name}: coloring");
+    }
+}
+
+#[test]
+fn algorithms_are_deterministic_per_seed() {
+    for (name, g) in corpus(11, 32) {
+        let a = alg2(&g, &Alg2Config::default(), 1234);
+        let b = alg2(&g, &Alg2Config::default(), 1234);
+        assert_eq!(
+            a.independent_set.members().collect::<Vec<_>>(),
+            b.independent_set.members().collect::<Vec<_>>(),
+            "{name}: alg2 nondeterministic"
+        );
+        assert_eq!(a.rounds, b.rounds, "{name}");
+        let c = alg3(&g);
+        let d = alg3(&g);
+        assert_eq!(
+            c.independent_set.members().collect::<Vec<_>>(),
+            d.independent_set.members().collect::<Vec<_>>(),
+            "{name}: alg3 nondeterministic"
+        );
+    }
+}
+
+/// Seeds differing runs should (almost always) differ — guards against a
+/// pipeline accidentally ignoring its seed.
+#[test]
+fn seeds_actually_matter() {
+    let (_, g) = corpus(12, 32).remove(6); // gnp-60
+    let mut distinct = false;
+    let base = alg2(&g, &Alg2Config::default(), 0)
+        .independent_set
+        .members()
+        .collect::<Vec<_>>();
+    for seed in 1..6 {
+        let other = alg2(&g, &Alg2Config::default(), seed)
+            .independent_set
+            .members()
+            .collect::<Vec<_>>();
+        if other != base {
+            distinct = true;
+            break;
+        }
+    }
+    assert!(distinct, "five different seeds all produced identical runs");
+}
+
+/// The Theorem 2.8 equivalence on the full corpus with a randomized
+/// protocol: the aggregated engine and the explicit-L(G) engine must
+/// agree bit-for-bit.
+#[derive(Clone)]
+struct Race {
+    score: u64,
+}
+impl EdgeProtocol for Race {
+    type Agg = u64;
+    type Output = (usize, u64);
+    fn identity() -> u64 {
+        0
+    }
+    fn join(a: u64, b: u64) -> u64 {
+        a.max(b)
+    }
+    fn contribution(&self, _round: usize) -> u64 {
+        self.score
+    }
+    fn step(&mut self, round: usize, agg: u64, rng: &mut SmallRng, _info: &EdgeInfo) -> Option<(usize, u64)> {
+        if self.score > agg && self.score > 0 {
+            return Some((round, self.score));
+        }
+        self.score = rng.random_range(0..1 << 20);
+        None
+    }
+}
+
+#[test]
+fn theorem_2_8_equivalence_on_corpus() {
+    for (name, g) in corpus(13, 1) {
+        if g.num_edges() == 0 {
+            continue;
+        }
+        let rounds = 60;
+        let agg = run_aggregated(&g, |_| Race { score: 0 }, 99, rounds);
+        let naive = run_on_explicit_line_graph(&g, |_| Race { score: 0 }, 99, rounds);
+        assert_eq!(agg.outputs, naive.outputs, "{name}: engines disagree");
+        assert_eq!(agg.physical_rounds, 2 * agg.line_rounds, "{name}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use congest_approx::maxis::{alg2, delta_bound_satisfied, sequential_local_ratio, Alg2Config, SelectionRule};
+use congest_exact::{
+    blossom_maximum_matching, brute_force_mwis, brute_force_mwm, greedy_matching, hopcroft_karp,
+};
+use congest_graph::{Bipartition, Graph, GraphBuilder, Matching, NodeId};
+use congest_hypergraph::{graph_as_hypergraph, nearly_maximal_matching, NmmParams};
+use congest_mis::{greedy_mis, verify_mis, LubyMis};
+use congest_sim::{run_protocol, SimConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Strategy: a random simple graph with up to `max_n` nodes, edge
+/// probability from the density parameter, and weights in `[1, 64]`.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n, 0u64..=u64::MAX, 1u8..=6).prop_map(|(n, seed, density)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = f64::from(density) / 10.0;
+        let mut g = congest_graph::generators::gnp(n, p, &mut rng);
+        congest_graph::generators::randomize_node_weights(&mut g, 64, &mut rng);
+        congest_graph::generators::randomize_edge_weights(&mut g, 64, &mut rng);
+        g
+    })
+}
+
+fn arb_bipartite(max_side: usize) -> impl Strategy<Value = Graph> {
+    (1usize..=max_side, 1usize..=max_side, 0u64..=u64::MAX).prop_map(|(a, b, seed)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = congest_graph::generators::random_bipartite(a, b, 0.4, &mut rng);
+        congest_graph::generators::randomize_edge_weights(&mut g, 32, &mut rng);
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn luby_always_returns_a_maximal_independent_set(g in arb_graph(40), seed in 0u64..1000) {
+        let outcome = run_protocol(&g, SimConfig::congest_for(&g), |_| LubyMis::new(), seed);
+        prop_assert!(outcome.completed);
+        let results = outcome.into_outputs();
+        prop_assert!(verify_mis(&g, &results).is_ok());
+    }
+
+    #[test]
+    fn alg2_is_independent_and_delta_approximate(g in arb_graph(18), seed in 0u64..1000) {
+        let run = alg2(&g, &Alg2Config::default(), seed);
+        prop_assert!(run.independent_set.is_independent(&g));
+        let opt = brute_force_mwis(&g).weight(&g);
+        prop_assert!(delta_bound_satisfied(&g, run.independent_set.weight(&g), opt));
+    }
+
+    #[test]
+    fn sequential_lr_is_delta_approximate(g in arb_graph(16)) {
+        for rule in [SelectionRule::SingleMaxWeight, SelectionRule::TopLayerGreedyMis, SelectionRule::GreedyMis] {
+            let s = sequential_local_ratio(&g, rule);
+            prop_assert!(s.is_independent(&g));
+            let opt = brute_force_mwis(&g).weight(&g);
+            prop_assert!(delta_bound_satisfied(&g, s.weight(&g), opt));
+        }
+    }
+
+    #[test]
+    fn blossom_agrees_with_hopcroft_karp_on_bipartite(g in arb_bipartite(12)) {
+        let bp = Bipartition::of(&g).expect("generated bipartite");
+        prop_assert_eq!(blossom_maximum_matching(&g).len(), hopcroft_karp(&g, &bp).len());
+    }
+
+    #[test]
+    fn blossom_matches_brute_force_cardinality(g in arb_graph(10)) {
+        prop_assume!(g.num_edges() <= 24);
+        let mut unit = g.clone();
+        for e in unit.edges().collect::<Vec<_>>() {
+            unit.set_edge_weight(e, 1);
+        }
+        prop_assert_eq!(
+            blossom_maximum_matching(&unit).len(),
+            brute_force_mwm(&unit).len()
+        );
+    }
+
+    #[test]
+    fn greedy_matching_is_half_of_optimum(g in arb_graph(10)) {
+        prop_assume!(g.num_edges() <= 24);
+        let greedy = greedy_matching(&g).weight(&g);
+        let opt = brute_force_mwm(&g).weight(&g);
+        prop_assert!(2 * greedy >= opt);
+        prop_assert!(greedy <= opt);
+    }
+
+    #[test]
+    fn greedy_mis_never_bigger_than_brute_force(g in arb_graph(16)) {
+        let order: Vec<NodeId> = g.nodes().collect();
+        let mis = greedy_mis(&g, &order);
+        prop_assert!(mis.is_maximal(&g));
+        prop_assert!(mis.weight(&g) <= brute_force_mwis(&g).weight(&g));
+    }
+
+    #[test]
+    fn line_graph_degree_identity(g in arb_graph(20)) {
+        // deg_L(e) = deg(u) + deg(v) − 2, and m_L = Σ_v C(deg v, 2).
+        let (lg, map) = g.line_graph();
+        for le in lg.nodes() {
+            let e = map[le.index()];
+            let (u, v) = g.endpoints(e);
+            prop_assert_eq!(lg.degree(le), g.degree(u) + g.degree(v) - 2);
+        }
+        let expected: usize = g.nodes().map(|v| g.degree(v) * (g.degree(v).saturating_sub(1)) / 2).sum();
+        prop_assert_eq!(lg.num_edges(), expected);
+    }
+
+    #[test]
+    fn hypergraph_nmm_matchings_are_disjoint(g in arb_graph(24), seed in 0u64..500) {
+        let h = graph_as_hypergraph(&g);
+        let params = NmmParams::default_for(&h, 0.1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = nearly_maximal_matching(&h, &params, &mut rng);
+        prop_assert!(out.matching_is_disjoint(&h));
+        prop_assert!(out.fully_active_edges(&h).is_empty());
+    }
+
+    #[test]
+    fn augmenting_grows_matching_by_exactly_one(seed in 0u64..2000) {
+        // Random path graph with alternate edges matched: augmenting the
+        // full path adds exactly one edge.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        use rand::Rng;
+        let k = rng.random_range(1usize..6);
+        let n = 2 * k + 2;
+        let g = congest_graph::generators::path(n);
+        let mut m = Matching::new(&g);
+        for i in 0..k {
+            let e = g.find_edge(NodeId((2 * i + 1) as u32), NodeId((2 * i + 2) as u32)).unwrap();
+            m.insert(&g, e);
+        }
+        let before = m.len();
+        let path: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        m.augment(&g, &path);
+        prop_assert_eq!(m.len(), before + 1);
+        prop_assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn matching_weight_is_sum_of_members(g in arb_graph(16)) {
+        let m = greedy_matching(&g);
+        let total: u64 = m.edges(&g).map(|e| g.edge_weight(e)).sum();
+        prop_assert_eq!(m.weight(&g), total);
+    }
+}
+
+#[test]
+fn regression_two_triangles_bridge() {
+    // Historical blossom pitfall: greedy gets 2, optimum is 3.
+    let mut b = GraphBuilder::with_nodes(6);
+    for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    let g = b.build();
+    assert_eq!(blossom_maximum_matching(&g).len(), 3);
+}

@@ -1,0 +1,142 @@
+//! Robustness and edge-case tests: degenerate inputs, disconnected
+//! graphs, adversarial weights, and skew-heavy weight distributions
+//! through every pipeline.
+
+use congest_approx::fast::{mcm_two_plus_eps, mwm_two_plus_eps};
+use congest_approx::hk::mcm_one_plus_eps_local;
+use congest_approx::matching::{mwm_grouped, mwm_lr_deterministic, mwm_lr_randomized};
+use congest_approx::maxis::{alg2, alg3, Alg2Config};
+use congest_approx::proposal::general_proposal;
+use congest_graph::{generators, GraphBuilder, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A disconnected graph: two cliques, an isolated path, and loose nodes.
+fn disconnected() -> congest_graph::Graph {
+    let mut b = GraphBuilder::with_nodes(16);
+    for u in 0..4u32 {
+        for v in (u + 1)..4 {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    for u in 4..8u32 {
+        for v in (u + 1)..8 {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    b.add_edge(NodeId(8), NodeId(9));
+    b.add_edge(NodeId(9), NodeId(10));
+    // Nodes 11..16 isolated.
+    b.build()
+}
+
+#[test]
+fn disconnected_graphs_work_everywhere() {
+    let g = disconnected();
+    let r2 = alg2(&g, &Alg2Config::default(), 3);
+    assert!(r2.independent_set.is_independent(&g));
+    // Isolated nodes must always be selected.
+    for v in 11..16u32 {
+        assert!(r2.independent_set.contains(NodeId(v)), "isolated v{v} missing");
+    }
+    let r3 = alg3(&g);
+    for v in 11..16u32 {
+        assert!(r3.independent_set.contains(NodeId(v)));
+    }
+    assert!(mwm_lr_randomized(&g, &Alg2Config::default(), 5).matching.is_valid(&g));
+    assert!(mwm_lr_deterministic(&g).matching.is_valid(&g));
+    assert!(mwm_grouped(&g, 5).matching.is_valid(&g));
+    assert!(mcm_two_plus_eps(&g, 0.5, 5).matching.is_valid(&g));
+    assert!(general_proposal(&g, 0.5, 5).matching.is_valid(&g));
+    assert!(mcm_one_plus_eps_local(&g, 0.5, 5).matching.is_valid(&g));
+}
+
+#[test]
+fn single_node_and_empty_graphs() {
+    for g in [GraphBuilder::new().build(), GraphBuilder::with_nodes(1).build()] {
+        assert!(alg2(&g, &Alg2Config::default(), 1).independent_set.len() == g.num_nodes());
+        assert!(alg3(&g).independent_set.len() == g.num_nodes());
+        assert!(mwm_lr_randomized(&g, &Alg2Config::default(), 1).matching.is_empty());
+        assert!(mcm_two_plus_eps(&g, 0.5, 1).matching.is_empty());
+    }
+}
+
+#[test]
+fn extreme_weight_skew() {
+    // One node carries nearly all the weight; every MaxIS variant must
+    // capture it (its weight alone certifies the Δ-approximation).
+    let mut rng = SmallRng::seed_from_u64(77);
+    let mut g = generators::gnp(40, 0.15, &mut rng);
+    for v in g.nodes().collect::<Vec<_>>() {
+        g.set_node_weight(v, 1);
+    }
+    g.set_node_weight(NodeId(7), 1 << 40);
+    let r2 = alg2(&g, &Alg2Config::default(), 9);
+    assert!(r2.independent_set.contains(NodeId(7)), "alg2 missed the whale");
+    let r3 = alg3(&g);
+    assert!(r3.independent_set.contains(NodeId(7)), "alg3 missed the whale");
+}
+
+#[test]
+fn extreme_edge_weight_skew() {
+    let mut rng = SmallRng::seed_from_u64(78);
+    let mut g = generators::random_regular(24, 3, &mut rng);
+    for e in g.edges().collect::<Vec<_>>() {
+        g.set_edge_weight(e, 1);
+    }
+    let whale = congest_graph::EdgeId(0);
+    g.set_edge_weight(whale, 1 << 40);
+    for (name, m) in [
+        ("lr-rand", mwm_lr_randomized(&g, &Alg2Config::default(), 3).matching),
+        ("lr-det", mwm_lr_deterministic(&g).matching),
+        ("grouped", mwm_grouped(&g, 3).matching),
+        ("fast-weighted", mwm_two_plus_eps(&g, 0.5, 3).matching),
+    ] {
+        assert!(
+            m.contains(&g, whale),
+            "{name}: the overwhelming edge must be matched"
+        );
+    }
+}
+
+#[test]
+fn identical_weights_break_ties_cleanly() {
+    // All-equal weights exercise every tie-break path.
+    let g = generators::complete(9);
+    let r2 = alg2(&g, &Alg2Config::default(), 4);
+    assert_eq!(r2.independent_set.len(), 1);
+    let r3 = alg3(&g);
+    assert_eq!(r3.independent_set.len(), 1);
+    let m = mwm_grouped(&g, 4).matching;
+    assert!(m.is_maximal(&g));
+    assert_eq!(m.len(), 4);
+}
+
+#[test]
+fn large_sparse_instance_round_sanity() {
+    // n = 4096 path: everything should stay well under engine caps and
+    // far under O(n) rounds.
+    let g = generators::path(4096);
+    let r2 = alg2(&g, &Alg2Config::default(), 6);
+    assert!(r2.rounds < 200, "alg2 took {} rounds on a path", r2.rounds);
+    let r3 = alg3(&g);
+    assert!(r3.rounds < 80, "alg3 took {} rounds on a path", r3.rounds);
+}
+
+#[test]
+fn grouped_and_linegraph_matchings_have_comparable_weight() {
+    // The footnote-5 direct implementation and the explicit-L(G) run are
+    // different executions of the same algorithm family; their weights
+    // should be within 2× of each other (both are 2-approximations).
+    let mut rng = SmallRng::seed_from_u64(79);
+    for trial in 0..3 {
+        let mut g = generators::gnp(30, 0.15, &mut rng);
+        generators::randomize_edge_weights(&mut g, 64, &mut rng);
+        if g.num_edges() == 0 {
+            continue;
+        }
+        let a = mwm_lr_randomized(&g, &Alg2Config::default(), trial).matching.weight(&g);
+        let b = mwm_grouped(&g, trial).matching.weight(&g);
+        assert!(2 * a >= b && 2 * b >= a, "trial {trial}: weights {a} vs {b} diverge");
+    }
+}
