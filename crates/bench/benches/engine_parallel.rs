@@ -1,0 +1,40 @@
+//! Sequential vs parallel engine execution on G(n,p) graphs.
+
+use congest_graph::generators;
+use congest_mis::LubyMis;
+use congest_sim::{Engine, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_gnp_luby");
+    for &n in &[1_000usize, 4_000] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let g = generators::gnp(n, 8.0 / n as f64, &mut rng);
+        let config = SimConfig::congest_for(&g);
+        group.bench_with_input(BenchmarkId::new("run", n), &g, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(Engine::build(g, config.clone(), |_| LubyMis::new()).run(seed))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("run_parallel", n), &g, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(Engine::build(g, config.clone(), |_| LubyMis::new()).run_parallel(seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

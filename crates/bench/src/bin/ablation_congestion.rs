@@ -32,7 +32,13 @@ impl EdgeProtocol for Race {
     fn contribution(&self, _round: usize) -> u64 {
         self.score
     }
-    fn step(&mut self, round: usize, agg: u64, rng: &mut SmallRng, _info: &EdgeInfo) -> Option<(usize, u64)> {
+    fn step(
+        &mut self,
+        round: usize,
+        agg: u64,
+        rng: &mut SmallRng,
+        _info: &EdgeInfo,
+    ) -> Option<(usize, u64)> {
         if self.score > agg && self.score > 0 {
             return Some((round, self.score));
         }
@@ -44,7 +50,12 @@ impl EdgeProtocol for Race {
 fn main() {
     println!("# Ablation A2: line-graph simulation congestion (Theorem 2.8)\n");
     let mut t = Table::new(&[
-        "graph", "Δ", "naive max congestion", "naive mean", "aggregated", "outputs equal",
+        "graph",
+        "Δ",
+        "naive max congestion",
+        "naive mean",
+        "aggregated",
+        "outputs equal",
     ]);
     let mut rng = SmallRng::seed_from_u64(5);
     let mut cases: Vec<(String, congest_graph::Graph)> = vec![];
@@ -70,7 +81,10 @@ fn main() {
             "1".into(),
             (naive.outputs == agg.outputs).to_string(),
         ]);
-        assert_eq!(naive.outputs, agg.outputs, "{name}: Theorem 2.8 equivalence broken");
+        assert_eq!(
+            naive.outputs, agg.outputs,
+            "{name}: Theorem 2.8 equivalence broken"
+        );
     }
     t.print();
     println!("\nReading: naive congestion tracks Δ (the [Kuh05] overhead); the");

@@ -21,9 +21,7 @@ const SEEDS: u64 = 6;
 fn main() {
     println!("# Ablation A1: growth factor K in the nearly-maximal IS\n");
     let delta_fail = 0.05;
-    let mut t = Table::new(&[
-        "Δ", "K", "budget (iters)", "rounds used", "undecided frac",
-    ]);
+    let mut t = Table::new(&["Δ", "K", "budget (iters)", "rounds used", "undecided frac"]);
     for &d in &[16usize, 64, 256] {
         let n = (4 * d).max(128);
         for &k in &[2.0f64, 3.0, 4.0, 6.0] {

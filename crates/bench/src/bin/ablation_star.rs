@@ -16,7 +16,12 @@ use congest_graph::{generators, NodeId};
 fn main() {
     println!("# Ablation A3: ungated parallel local ratio vs Algorithm 2 (star example)\n");
     let mut t = Table::new(&[
-        "star leaves", "center w", "leaf w", "naive-parallel weight", "alg2 weight", "OPT",
+        "star leaves",
+        "center w",
+        "leaf w",
+        "naive-parallel weight",
+        "alg2 weight",
+        "OPT",
     ]);
     for &(leaves, center_w, leaf_w) in &[
         (5usize, 8u64, 3u64), // the paper's shape: center > leaf, center < sum

@@ -39,7 +39,11 @@ fn leftover(delta: usize, n: usize, params: NmisParams) -> f64 {
 fn main() {
     println!("# Discussion (§4): almost-maximal IS leftover mass vs Δ\n");
     let mut t = Table::new(&[
-        "Δ", "iters (budget)", "leftover frac", "iters (2× budget)", "leftover frac (2×)",
+        "Δ",
+        "iters (budget)",
+        "leftover frac",
+        "iters (2× budget)",
+        "leftover frac (2×)",
     ]);
     for &d in &[8usize, 16, 32, 64, 128] {
         let n = (8 * d).max(128);

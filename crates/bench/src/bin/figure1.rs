@@ -19,7 +19,12 @@ use rand::SeedableRng;
 fn main() {
     println!("# Figure 1: augmenting-path counting by forward/backward traversal\n");
     let mut t = Table::new(&[
-        "instance", "d", "paths (traversal)", "paths (DFS)", "per-node match", "rounds (2d)",
+        "instance",
+        "d",
+        "paths (traversal)",
+        "paths (DFS)",
+        "per-node match",
+        "rounds (2d)",
     ]);
     let mut rng = SmallRng::seed_from_u64(2017);
     for trial in 0..8u32 {
@@ -42,11 +47,7 @@ fn main() {
         {
             let trav = count_paths(&g, &bp, &m, d);
             let paths = enumerate_augmenting_paths(&g, &m, &active, d, 1_000_000);
-            let traversal_total: f64 = trav
-                .terminals
-                .iter()
-                .map(|&b| trav.value[b.index()])
-                .sum();
+            let traversal_total: f64 = trav.terminals.iter().map(|&b| trav.value[b.index()]).sum();
             let mut brute = vec![0.0f64; g.num_nodes()];
             for p in &paths {
                 for v in p {
@@ -61,11 +62,19 @@ fn main() {
                 d.to_string(),
                 format!("{traversal_total:.0}"),
                 paths.len().to_string(),
-                if all_match { "yes".into() } else { "NO".to_string() },
+                if all_match {
+                    "yes".into()
+                } else {
+                    "NO".to_string()
+                },
                 trav.rounds.to_string(),
             ]);
             assert!(all_match, "Claim B.6 violated on instance {trial}, d={d}");
-            assert_eq!(traversal_total.round() as usize, paths.len(), "Claim B.5 violated");
+            assert_eq!(
+                traversal_total.round() as usize,
+                paths.len(),
+                "Claim B.5 violated"
+            );
         }
     }
     t.print();

@@ -24,7 +24,13 @@ fn main() {
 
     // --- rounds vs n and W ----------------------------------------------
     let mut t = Table::new(&[
-        "n", "Δ", "W", "alg2 rounds", "MIS(G) rounds", "log₂W", "rounds/(MIS·logW)",
+        "n",
+        "Δ",
+        "W",
+        "alg2 rounds",
+        "MIS(G) rounds",
+        "log₂W",
+        "rounds/(MIS·logW)",
     ]);
     for &n in &[64usize, 256, 1024] {
         for &w in &[1u64, 16, 256, 4096] {
@@ -38,8 +44,7 @@ fn main() {
                 }
                 let run = alg2(&g, &Alg2Config::default(), seed);
                 rounds.push(run.rounds as f64);
-                let mis =
-                    run_protocol(&g, SimConfig::congest_for(&g), |_| LubyMis::new(), seed);
+                let mis = run_protocol(&g, SimConfig::congest_for(&g), |_| LubyMis::new(), seed);
                 mis_rounds.push(mis.stats.rounds as f64);
             }
             let logw = (w.max(2) as f64).log2();
@@ -81,14 +86,23 @@ fn main() {
     t2.print();
 
     // --- 2-approx matching (Theorem 2.10, randomized row) ---------------
-    let mut t3 = Table::new(&["graph", "w(ALG)", "w(OPT)", "OPT/ALG", "bound", "line rounds"]);
+    let mut t3 = Table::new(&[
+        "graph",
+        "w(ALG)",
+        "w(OPT)",
+        "OPT/ALG",
+        "bound",
+        "line rounds",
+    ]);
     for trial in 0..6 {
         let mut g = generators::random_bipartite(12, 12, 0.3, &mut rng);
         generators::randomize_edge_weights(&mut g, 256, &mut rng);
         if g.num_edges() == 0 {
             continue;
         }
-        let opt = max_weight_matching_oracle(&g).expect("bipartite").weight(&g);
+        let opt = max_weight_matching_oracle(&g)
+            .expect("bipartite")
+            .weight(&g);
         let run = mwm_lr_randomized(&g, &Alg2Config::default(), trial);
         let alg = run.matching.weight(&g);
         t3.row(vec![

@@ -19,7 +19,12 @@ fn main() {
     println!("# Table 1 row 2: deterministic Δ-approx MaxIS, O(Δ + log* n) shape\n");
 
     let mut t = Table::new(&[
-        "n", "Δ", "coloring rounds", "LR rounds", "total", "Δ·log₂Δ (pred. scale)",
+        "n",
+        "Δ",
+        "coloring rounds",
+        "LR rounds",
+        "total",
+        "Δ·log₂Δ (pred. scale)",
     ]);
     let mut rng = SmallRng::seed_from_u64(7);
     for &(n, d) in &[

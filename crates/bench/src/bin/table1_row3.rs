@@ -22,7 +22,12 @@ fn main() {
 
     // --- rounds vs Δ ------------------------------------------------------
     let mut t = Table::new(&[
-        "Δ", "n", "physical rounds", "logΔ/loglogΔ", "rounds/shape", "ratio OPT/ALG (card.)",
+        "Δ",
+        "n",
+        "physical rounds",
+        "logΔ/loglogΔ",
+        "rounds/shape",
+        "ratio OPT/ALG (card.)",
     ]);
     for &d in &[4usize, 8, 16, 32, 64, 128] {
         let n = (4 * d).max(64);
@@ -34,7 +39,7 @@ fn main() {
             let run = mcm_two_plus_eps(&g, eps, seed);
             rounds.push(run.physical_rounds as f64);
             let opt = blossom_maximum_matching(&g).len() as f64;
-            if run.matching.len() > 0 {
+            if !run.matching.is_empty() {
                 ratios.push(opt / run.matching.len() as f64);
             }
         }
@@ -50,7 +55,10 @@ fn main() {
     }
     t.print();
     println!("\nPrediction: rounds/shape stays near-constant (the optimal");
-    println!("O(log Δ / log log Δ) complexity); cardinality ratio stays ≤ 2+ε = {:.2}.\n", 2.0 + eps);
+    println!(
+        "O(log Δ / log log Δ) complexity); cardinality ratio stays ≤ 2+ε = {:.2}.\n",
+        2.0 + eps
+    );
 
     // --- weighted pipeline quality ---------------------------------------
     let mut t2 = Table::new(&["graph", "ε", "w(ALG)", "w(OPT)", "OPT/ALG", "bound 2+ε"]);
@@ -62,7 +70,9 @@ fn main() {
             if g.num_edges() == 0 {
                 continue;
             }
-            let opt = max_weight_matching_oracle(&g).expect("bipartite").weight(&g);
+            let opt = max_weight_matching_oracle(&g)
+                .expect("bipartite")
+                .weight(&g);
             let run = mwm_two_plus_eps(&g, eps, trial);
             let alg = run.matching.weight(&g).max(1);
             t2.row(vec![

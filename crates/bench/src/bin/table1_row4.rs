@@ -20,13 +20,28 @@ fn main() {
     println!("# Table 1 row 4: (1+ε)-approx maximum cardinality matching\n");
 
     let mut t = Table::new(&[
-        "family", "ε", "model", "ratio OPT/ALG", "bound 1+ε", "deactivated frac",
+        "family",
+        "ε",
+        "model",
+        "ratio OPT/ALG",
+        "bound 1+ε",
+        "deactivated frac",
     ]);
-    let families: Vec<(&str, Box<dyn Fn(&mut SmallRng) -> congest_graph::Graph>)> = vec![
-        ("regular-60-3", Box::new(|rng| generators::random_regular(60, 3, rng))),
-        ("regular-48-4", Box::new(|rng| generators::random_regular(48, 4, rng))),
+    type Family<'a> = (&'a str, Box<dyn Fn(&mut SmallRng) -> congest_graph::Graph>);
+    let families: Vec<Family<'_>> = vec![
+        (
+            "regular-60-3",
+            Box::new(|rng| generators::random_regular(60, 3, rng)),
+        ),
+        (
+            "regular-48-4",
+            Box::new(|rng| generators::random_regular(48, 4, rng)),
+        ),
         ("cycle-40", Box::new(|_| generators::cycle(40))),
-        ("bip-20-20", Box::new(|rng| generators::random_bipartite(20, 20, 0.2, rng))),
+        (
+            "bip-20-20",
+            Box::new(|rng| generators::random_bipartite(20, 20, 0.2, rng)),
+        ),
     ];
     for (name, make) in &families {
         for &eps in &[0.5f64, 0.34] {

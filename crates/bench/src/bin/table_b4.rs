@@ -19,7 +19,12 @@ fn main() {
     println!("# Appendix B.4: proposal algorithm\n");
 
     let mut t = Table::new(&[
-        "Δ", "ε", "budget cycles", "rounds used", "ratio OPT/ALG", "bound 2+ε",
+        "Δ",
+        "ε",
+        "budget cycles",
+        "rounds used",
+        "ratio OPT/ALG",
+        "bound 2+ε",
     ]);
     for &d in &[4usize, 8, 16, 32] {
         for &eps in &[0.5f64, 0.2, 0.05] {

@@ -118,9 +118,7 @@ impl LinialColoring {
 
     /// Number of colors guaranteed after running `schedule`.
     pub fn final_colors(n: usize, schedule: &[LinialStep]) -> usize {
-        schedule
-            .last()
-            .map_or(n, |s| s.colors_after() as usize)
+        schedule.last().map_or(n, |s| s.colors_after() as usize)
     }
 
     /// Evaluates the polynomial encoded by `color` (base-`q` digits) at `x`.
@@ -170,7 +168,11 @@ impl Protocol for LinialColoring {
         }
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, ColorMsg>, inbox: &[(Port, ColorMsg)]) -> Status<usize> {
+    fn round(
+        &mut self,
+        ctx: &mut Context<'_, ColorMsg>,
+        inbox: &[(Port, ColorMsg)],
+    ) -> Status<usize> {
         if self.schedule.is_empty() {
             return Status::Halt(self.color as usize);
         }
@@ -245,18 +247,17 @@ mod tests {
             0,
         );
         assert!(outcome.completed);
-        assert_eq!(outcome.stats.budget_violations, 0, "Linial exceeds CONGEST budget");
-        (
-            outcome.into_outputs(),
-            bound,
-            rounds_expected,
-        )
+        assert_eq!(
+            outcome.stats.budget_violations, 0,
+            "Linial exceeds CONGEST budget"
+        );
+        (outcome.into_outputs(), bound, rounds_expected)
     }
 
     #[test]
     fn colors_are_proper_on_families() {
         let mut rng = SmallRng::seed_from_u64(12);
-        let graphs = vec![
+        let graphs = [
             generators::path(300),
             generators::cycle(257),
             generators::gnp(200, 0.03, &mut rng),

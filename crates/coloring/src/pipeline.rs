@@ -65,7 +65,9 @@ pub fn deterministic_delta_plus_one(g: &Graph) -> ColoringRun {
         stats: RunStats {
             rounds: linial_stats.rounds + reduction_stats.rounds,
             total_messages: linial_stats.total_messages + reduction_stats.total_messages,
-            max_message_bits: linial_stats.max_message_bits.max(reduction_stats.max_message_bits),
+            max_message_bits: linial_stats
+                .max_message_bits
+                .max(reduction_stats.max_message_bits),
             budget_violations: linial_stats.budget_violations + reduction_stats.budget_violations,
             dropped_messages: linial_stats.dropped_messages + reduction_stats.dropped_messages,
         },
@@ -83,7 +85,7 @@ mod tests {
     #[test]
     fn pipeline_produces_delta_plus_one_coloring() {
         let mut rng = SmallRng::seed_from_u64(31);
-        let graphs = vec![
+        let graphs = [
             generators::path(128),
             generators::cycle(99),
             generators::gnp(150, 0.05, &mut rng),
@@ -118,7 +120,15 @@ mod tests {
         // reduction O(Δ log Δ) ≈ small; total far below n.
         let g = generators::path(5000);
         let run = deterministic_delta_plus_one(&g);
-        assert!(run.linial_rounds <= 8, "log* n rounds expected, got {}", run.linial_rounds);
-        assert!(run.reduction_rounds <= 60, "Δ log Δ rounds expected, got {}", run.reduction_rounds);
+        assert!(
+            run.linial_rounds <= 8,
+            "log* n rounds expected, got {}",
+            run.linial_rounds
+        );
+        assert!(
+            run.reduction_rounds <= 60,
+            "Δ log Δ rounds expected, got {}",
+            run.reduction_rounds
+        );
     }
 }

@@ -59,7 +59,11 @@ impl Protocol for RandomizedColoring {
         self.taken = vec![false; ctx.info().max_degree + 1];
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, RandColorMsg>, inbox: &[(Port, RandColorMsg)]) -> Status<usize> {
+    fn round(
+        &mut self,
+        ctx: &mut Context<'_, RandColorMsg>,
+        inbox: &[(Port, RandColorMsg)],
+    ) -> Status<usize> {
         if ctx.round() % 2 == 1 {
             // Proposal phase: fold in Final claims, then propose.
             for (_, msg) in inbox {
@@ -77,10 +81,10 @@ impl Protocol for RandomizedColoring {
             let mut keep = !self.taken[self.proposal as usize];
             for (port, msg) in inbox {
                 match msg {
-                    RandColorMsg::Propose(c) if *c == self.proposal => {
-                        if ctx.neighbor(*port) > ctx.id() {
-                            keep = false;
-                        }
+                    RandColorMsg::Propose(c)
+                        if *c == self.proposal && ctx.neighbor(*port) > ctx.id() =>
+                    {
+                        keep = false;
                     }
                     RandColorMsg::Final(c) => {
                         self.taken[*c as usize] = true;
@@ -114,7 +118,7 @@ mod tests {
     #[test]
     fn colors_are_proper_within_palette() {
         let mut rng = SmallRng::seed_from_u64(7);
-        let graphs = vec![
+        let graphs = [
             generators::path(50),
             generators::complete(12),
             generators::gnp(100, 0.08, &mut rng),
@@ -140,7 +144,12 @@ mod tests {
     fn converges_quickly_on_sparse_graphs() {
         let mut rng = SmallRng::seed_from_u64(8);
         let g = generators::random_regular(200, 4, &mut rng);
-        let outcome = run_protocol(&g, SimConfig::congest_for(&g), |_| RandomizedColoring::new(), 5);
+        let outcome = run_protocol(
+            &g,
+            SimConfig::congest_for(&g),
+            |_| RandomizedColoring::new(),
+            5,
+        );
         assert!(outcome.completed);
         assert!(
             outcome.stats.rounds <= 2 * 30,
@@ -152,7 +161,12 @@ mod tests {
     #[test]
     fn respects_congest_budget() {
         let g = generators::complete(16);
-        let outcome = run_protocol(&g, SimConfig::congest_for(&g), |_| RandomizedColoring::new(), 9);
+        let outcome = run_protocol(
+            &g,
+            SimConfig::congest_for(&g),
+            |_| RandomizedColoring::new(),
+            9,
+        );
         assert_eq!(outcome.stats.budget_violations, 0);
     }
 }

@@ -57,7 +57,10 @@ impl SimpleReduction {
     /// Creates an instance for a node whose current color is `color`
     /// (`< num_colors`).
     pub fn new(color: usize, num_colors: usize) -> Self {
-        assert!(color < num_colors, "color {color} out of range {num_colors}");
+        assert!(
+            color < num_colors,
+            "color {color} out of range {num_colors}"
+        );
         SimpleReduction {
             my_color: color,
             num_colors,
@@ -79,7 +82,11 @@ impl Protocol for SimpleReduction {
         }
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, RecolorMsg>, inbox: &[(Port, RecolorMsg)]) -> Status<usize> {
+    fn round(
+        &mut self,
+        ctx: &mut Context<'_, RecolorMsg>,
+        inbox: &[(Port, RecolorMsg)],
+    ) -> Status<usize> {
         let palette = ctx.info().max_degree + 1;
         if self.num_colors <= palette {
             return Status::Halt(self.my_color);
@@ -152,7 +159,10 @@ impl KwReduction {
     /// Creates an instance for a node whose current color is `color`
     /// (`< num_colors`).
     pub fn new(color: usize, num_colors: usize) -> Self {
-        assert!(color < num_colors, "color {color} out of range {num_colors}");
+        assert!(
+            color < num_colors,
+            "color {color} out of range {num_colors}"
+        );
         KwReduction {
             my_color: color,
             num_colors,
@@ -186,7 +196,11 @@ impl Protocol for KwReduction {
         }
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, RecolorMsg>, inbox: &[(Port, RecolorMsg)]) -> Status<usize> {
+    fn round(
+        &mut self,
+        ctx: &mut Context<'_, RecolorMsg>,
+        inbox: &[(Port, RecolorMsg)],
+    ) -> Status<usize> {
         if self.plan.is_empty() {
             return Status::Halt(self.my_color);
         }
@@ -203,11 +217,7 @@ impl Protocol for KwReduction {
         let mut announced = false;
         if self.my_color % block == offset {
             let base = (self.my_color / block) * block;
-            self.my_color = min_free(
-                base,
-                base + palette,
-                self.neighbor_colors.iter().copied(),
-            );
+            self.my_color = min_free(base, base + palette, self.neighbor_colors.iter().copied());
             announced = true;
         }
         if rebase {
@@ -234,7 +244,7 @@ impl Protocol for KwReduction {
 mod tests {
     use super::*;
     use crate::{num_colors, verify_coloring};
-    use congest_graph::{generators, Graph, NodeId};
+    use congest_graph::{generators, Graph};
     use congest_sim::{run_protocol, SimConfig};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -365,7 +375,7 @@ mod tests {
     #[test]
     fn already_small_palette_is_noop() {
         let g = generators::complete(4); // Δ+1 = 4
-        let init = vec![0usize, 1, 2, 3];
+        let init = [0usize, 1, 2, 3];
         let outcome = run_protocol(
             &g,
             SimConfig::congest_for(&g),

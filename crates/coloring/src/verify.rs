@@ -50,9 +50,13 @@ mod tests {
     #[test]
     fn rejects_conflicts_and_overflow() {
         let g = generators::path(2);
-        assert!(verify_coloring(&g, &[1, 1], 2).unwrap_err().contains("share color"));
+        assert!(verify_coloring(&g, &[1, 1], 2)
+            .unwrap_err()
+            .contains("share color"));
         assert!(verify_coloring(&g, &[0, 5], 2).unwrap_err().contains("≥ 2"));
-        assert!(verify_coloring(&g, &[0], 2).unwrap_err().contains("expected 2"));
+        assert!(verify_coloring(&g, &[0], 2)
+            .unwrap_err()
+            .contains("expected 2"));
     }
 
     #[test]

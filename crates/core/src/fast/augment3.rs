@@ -67,7 +67,11 @@ pub fn mwm_two_plus_eps(g: &Graph, eps: f64, seed: u64) -> Augment3Run {
         }
         let run = mwm_const_approx(&sub, eps, seed.wrapping_add(1 + it as u64));
         physical_rounds += run.physical_rounds + 1;
-        let found: Vec<EdgeId> = run.matching.edges(&sub).map(|se| edge_map[se.index()]).collect();
+        let found: Vec<EdgeId> = run
+            .matching
+            .edges(&sub)
+            .map(|se| edge_map[se.index()])
+            .collect();
         if found.is_empty() {
             break;
         }

@@ -182,9 +182,7 @@ pub struct NmmLineRun {
 /// Panics if two adjacent edges both claim `InSet` (would indicate a
 /// protocol bug; the returned [`Matching`] construction enforces it).
 pub fn nmm_on_line_graph(g: &Graph, params: &NmisParams, seed: u64) -> NmmLineRun {
-    let cap = params
-        .iterations
-        .map_or(usize::MAX / 8, |it| 3 * it + 6);
+    let cap = params.iterations.map_or(usize::MAX / 8, |it| 3 * it + 6);
     let run = run_aggregated(g, |_| NmisEdge::new(params), seed, cap);
     let results: Vec<MisResult> = run
         .outputs
@@ -197,7 +195,10 @@ pub fn nmm_on_line_graph(g: &Graph, params: &NmisParams, seed: u64) -> NmmLineRu
             matching.insert(g, congest_graph::EdgeId(i as u32));
         }
     }
-    let undecided = results.iter().filter(|r| **r == MisResult::Undecided).count();
+    let undecided = results
+        .iter()
+        .filter(|r| **r == MisResult::Undecided)
+        .count();
     let undecided_fraction = if results.is_empty() {
         0.0
     } else {

@@ -136,9 +136,7 @@ pub fn attenuated_sums(
     let mut through = vec![0.0f64; n];
     let terminals: Vec<NodeId> = g
         .nodes()
-        .filter(|v| {
-            dist[v.index()] == Some(d) && bp.is_right(*v) && !m.is_matched(*v)
-        })
+        .filter(|v| dist[v.index()] == Some(d) && bp.is_right(*v) && !m.is_matched(*v))
         .collect();
     for &b in &terminals {
         through[b.index()] = value[b.index()];
@@ -256,7 +254,9 @@ pub fn token_marking<R: Rng + ?Sized>(
             std::collections::HashMap::new();
         for (i, tok) in tokens.iter().enumerate() {
             if tok.alive {
-                seen.entry(*tok.path.last().expect("non-empty")).or_default().push(i);
+                seen.entry(*tok.path.last().expect("non-empty"))
+                    .or_default()
+                    .push(i);
             }
         }
         for (_, group) in seen {
@@ -280,8 +280,8 @@ pub fn token_marking<R: Rng + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::paths::enumerate_augmenting_paths;
+    use super::*;
     use congest_graph::{generators, GraphBuilder};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -409,7 +409,10 @@ mod tests {
             for p in &paths {
                 assert_eq!(p.len(), 4, "trial {trial}");
                 for v in p {
-                    assert!(!used[v.index()], "trial {trial}: intersecting tokens survived");
+                    assert!(
+                        !used[v.index()],
+                        "trial {trial}: intersecting tokens survived"
+                    );
                     used[v.index()] = true;
                 }
                 // Flipping must be legal.

@@ -200,10 +200,7 @@ mod tests {
             let opt = blossom_maximum_matching(&g).len() as f64;
             let run = mcm_one_plus_eps_congest(&g, 0.5, 900 + trial);
             let alg = run.matching.len() as f64;
-            assert!(
-                1.7 * alg >= opt,
-                "trial {trial}: alg {alg} opt {opt}"
-            );
+            assert!(1.7 * alg >= opt, "trial {trial}: alg {alg} opt {opt}");
         }
     }
 

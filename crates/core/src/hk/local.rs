@@ -79,7 +79,7 @@ pub fn mcm_one_plus_eps_local(g: &Graph, eps: f64, seed: u64) -> LocalHkRun {
             });
             continue;
         }
-        let hyperedges: Vec<Vec<congest_graph::NodeId>> = paths.iter().cloned().collect();
+        let hyperedges: Vec<Vec<congest_graph::NodeId>> = paths.to_vec();
         let h = Hypergraph::new(g.num_nodes(), hyperedges);
         let params = NmmParams::default_for(&h, delta_fail);
         let mut rng = SmallRng::seed_from_u64(phase_seed(seed, phase_idx as u64));

@@ -85,9 +85,7 @@ pub fn run_aggregated<P: EdgeProtocol>(
     let infos = edge_infos(g);
     let m = g.num_edges();
     let mut protocols: Vec<P> = infos.iter().map(&mut factory).collect();
-    let mut rngs: Vec<SmallRng> = (0..m as u32)
-        .map(|e| node_rng(seed, NodeId(e)))
-        .collect();
+    let mut rngs: Vec<SmallRng> = (0..m as u32).map(|e| node_rng(seed, NodeId(e))).collect();
     let mut outputs: Vec<Option<P::Output>> = vec![None; m];
     let mut undecided = m;
     let mut line_rounds = 0;
@@ -102,8 +100,7 @@ pub fn run_aggregated<P: EdgeProtocol>(
     while undecided > 0 && line_rounds < max_line_rounds {
         line_rounds += 1;
         let round = line_rounds;
-        let contributions: Vec<P::Agg> =
-            protocols.iter().map(|p| p.contribution(round)).collect();
+        let contributions: Vec<P::Agg> = protocols.iter().map(|p| p.contribution(round)).collect();
 
         // Exclude-one aggregates per endpoint via prefix/suffix joins:
         // partial_u[e] (resp. partial_v[e]) = φ over the contributions of
@@ -200,12 +197,19 @@ mod tests {
     #[test]
     fn triangle_sum_of_ids() {
         let g = generators::complete(3); // 3 edges, pairwise adjacent in L(G)
-        let run = run_aggregated(&g, |info| SumIds { my_id: u64::from(info.edge.0) }, 0, 10);
+        let run = run_aggregated(
+            &g,
+            |info| SumIds {
+                my_id: u64::from(info.edge.0),
+            },
+            0,
+            10,
+        );
         assert!(run.completed);
         assert_eq!(run.line_rounds, 1);
         assert_eq!(run.physical_rounds, 2);
         for out in run.outputs {
-            assert_eq!(out, Some(0 + 1 + 2));
+            assert_eq!(out, Some(1 + 2));
         }
     }
 
@@ -214,7 +218,14 @@ mod tests {
         // Star K_{1,4}: every pair of edges is line-adjacent; each edge's
         // neighbor aggregate must exclude exactly itself.
         let g = generators::star(5);
-        let run = run_aggregated(&g, |info| SumIds { my_id: u64::from(info.edge.0) }, 0, 10);
+        let run = run_aggregated(
+            &g,
+            |info| SumIds {
+                my_id: u64::from(info.edge.0),
+            },
+            0,
+            10,
+        );
         let total: u64 = (0..4).sum();
         for (e, out) in run.outputs.iter().enumerate() {
             // step adds own id back, so every edge sees the full total.
@@ -227,10 +238,17 @@ mod tests {
         // Path 0-1-2-3: edges e0={0,1}, e1={1,2}, e2={2,3}; L(G) is a
         // path e0–e1–e2. e0's aggregate = id(e1) alone.
         let g = generators::path(4);
-        let run = run_aggregated(&g, |info| SumIds { my_id: u64::from(info.edge.0) }, 0, 10);
+        let run = run_aggregated(
+            &g,
+            |info| SumIds {
+                my_id: u64::from(info.edge.0),
+            },
+            0,
+            10,
+        );
         // out = agg + own id.
-        assert_eq!(run.outputs[0], Some(1 + 0));
-        assert_eq!(run.outputs[1], Some(0 + 2 + 1));
+        assert_eq!(run.outputs[0], Some(1));
+        assert_eq!(run.outputs[1], Some(2 + 1));
         assert_eq!(run.outputs[2], Some(1 + 2));
     }
 
@@ -249,7 +267,13 @@ mod tests {
             fn contribution(&self, _round: usize) -> u64 {
                 0
             }
-            fn step(&mut self, _r: usize, _a: u64, _rng: &mut SmallRng, _i: &EdgeInfo) -> Option<()> {
+            fn step(
+                &mut self,
+                _r: usize,
+                _a: u64,
+                _rng: &mut SmallRng,
+                _i: &EdgeInfo,
+            ) -> Option<()> {
                 None
             }
         }

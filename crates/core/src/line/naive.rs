@@ -51,7 +51,11 @@ impl<P: EdgeProtocol> Protocol for LineNodeAdapter<P> {
         ctx.broadcast(self.inner.contribution(1));
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, P::Agg>, inbox: &[(Port, P::Agg)]) -> Status<Option<P::Output>> {
+    fn round(
+        &mut self,
+        ctx: &mut Context<'_, P::Agg>,
+        inbox: &[(Port, P::Agg)],
+    ) -> Status<Option<P::Output>> {
         let round = ctx.round();
         let mut agg = P::identity();
         for (_, msg) in inbox {
@@ -99,7 +103,10 @@ pub fn run_on_explicit_line_graph<P: EdgeProtocol>(
         },
         seed,
     );
-    assert!(outcome.completed, "adapter halts at its budget by construction");
+    assert!(
+        outcome.completed,
+        "adapter halts at its budget by construction"
+    );
     NaiveLineRun {
         outputs: outcome
             .outputs
@@ -138,7 +145,10 @@ pub fn naive_congestion(g: &Graph, traces: &[MessageTrace]) -> CongestionReport 
         if u1 == u2 || u1 == v2 {
             u1
         } else {
-            debug_assert!(v1 == u2 || v1 == v2, "line-graph messages connect adjacent edges");
+            debug_assert!(
+                v1 == u2 || v1 == v2,
+                "line-graph messages connect adjacent edges"
+            );
             v1
         }
     };
@@ -226,7 +236,8 @@ mod tests {
             }
             let rounds = 40;
             let agg = run_aggregated(&g, |_| RandomRace { score: 0 }, 1000 + trial, rounds);
-            let naive = run_on_explicit_line_graph(&g, |_| RandomRace { score: 0 }, 1000 + trial, rounds);
+            let naive =
+                run_on_explicit_line_graph(&g, |_| RandomRace { score: 0 }, 1000 + trial, rounds);
             assert_eq!(agg.outputs, naive.outputs, "trial {trial}");
         }
     }

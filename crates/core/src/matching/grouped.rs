@@ -146,7 +146,9 @@ impl GroupedLrMatching {
     }
 
     fn matched_port(&self) -> Option<Port> {
-        self.slots.iter().position(|s| s.state == EdgeState::Matched)
+        self.slots
+            .iter()
+            .position(|s| s.state == EdgeState::Matched)
     }
 }
 
@@ -168,7 +170,11 @@ impl Protocol for GroupedLrMatching {
             .collect();
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, GroupedMsg>, inbox: &[(Port, GroupedMsg)]) -> Status<Option<NodeId>> {
+    fn round(
+        &mut self,
+        ctx: &mut Context<'_, GroupedMsg>,
+        inbox: &[(Port, GroupedMsg)],
+    ) -> Status<Option<NodeId>> {
         match (ctx.round() - 1) % 4 {
             0 => {
                 // The resolve handshake of the previous cycle's phase 4
@@ -198,8 +204,8 @@ impl Protocol for GroupedLrMatching {
                         };
                         let n = ctx.info().n.max(2) as u64;
                         let prio = ctx.rng().random_range(0..n * n * n);
-                        let tie = u64::from(ctx.id().0) * (ctx.info().max_degree as u64 + 1)
-                            + p as u64;
+                        let tie =
+                            u64::from(ctx.id().0) * (ctx.info().max_degree as u64 + 1) + p as u64;
                         self.slots[p].tuple = (layer, prio, tie);
                         ctx.send(p, GroupedMsg::Announce { layer, prio });
                     }
@@ -262,21 +268,18 @@ impl Protocol for GroupedLrMatching {
                 // Phase 4 — apply reductions symmetrically, classify, and
                 // run the resolve handshake for candidates.
                 for (port, msg) in inbox {
-                    match msg {
-                        GroupedMsg::ReduceSum(remote_sum) => {
-                            let p = *port;
-                            if self.slots[p].state != EdgeState::Remaining {
-                                continue;
-                            }
-                            let local_sum = self.exclude_winner_sum(p);
-                            if self.slots[p].won {
-                                // Winner: becomes a candidate, waits for the
-                                // surviving neighbors at this endpoint.
-                                continue;
-                            }
-                            self.slots[p].w -= (local_sum + remote_sum) as i64;
+                    if let GroupedMsg::ReduceSum(remote_sum) = msg {
+                        let p = *port;
+                        if self.slots[p].state != EdgeState::Remaining {
+                            continue;
                         }
-                        _ => {}
+                        let local_sum = self.exclude_winner_sum(p);
+                        if self.slots[p].won {
+                            // Winner: becomes a candidate, waits for the
+                            // surviving neighbors at this endpoint.
+                            continue;
+                        }
+                        self.slots[p].w -= (local_sum + remote_sum) as i64;
                     }
                 }
                 // Classification after reductions.
@@ -448,7 +451,10 @@ mod tests {
             generators::randomize_edge_weights(&mut g, 64, &mut rng);
             let run = mwm_grouped(&g, 1000 + trial);
             assert!(run.matching.is_valid(&g), "trial {trial}");
-            assert_eq!(run.stats.budget_violations, 0, "trial {trial}: CONGEST violated");
+            assert_eq!(
+                run.stats.budget_violations, 0,
+                "trial {trial}: CONGEST violated"
+            );
         }
     }
 
@@ -471,7 +477,9 @@ mod tests {
             if g.num_edges() == 0 {
                 continue;
             }
-            let opt = max_weight_matching_oracle(&g).expect("bipartite").weight(&g);
+            let opt = max_weight_matching_oracle(&g)
+                .expect("bipartite")
+                .weight(&g);
             let run = mwm_grouped(&g, 3000 + trial);
             let alg = run.matching.weight(&g).max(1);
             assert!(

@@ -55,7 +55,10 @@ pub fn mwm_lr_randomized(g: &Graph, cfg: &Alg2Config, seed: u64) -> LrMatchingRu
     let run = crate::maxis::alg2(&lg, cfg, seed);
     let matching = matching_from_line_outputs(
         g,
-        (0..lg.num_nodes()).map(|i| run.independent_set.contains(congest_graph::NodeId(i as u32))),
+        (0..lg.num_nodes()).map(|i| {
+            run.independent_set
+                .contains(congest_graph::NodeId(i as u32))
+        }),
     );
     LrMatchingRun {
         matching,
@@ -73,7 +76,10 @@ pub fn mwm_lr_deterministic(g: &Graph) -> LrMatchingRun {
     let run = alg3(&lg);
     let matching = matching_from_line_outputs(
         g,
-        (0..lg.num_nodes()).map(|i| run.independent_set.contains(congest_graph::NodeId(i as u32))),
+        (0..lg.num_nodes()).map(|i| {
+            run.independent_set
+                .contains(congest_graph::NodeId(i as u32))
+        }),
     );
     LrMatchingRun {
         matching,

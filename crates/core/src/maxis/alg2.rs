@@ -84,7 +84,9 @@ pub enum Alg2Msg {
 impl Message for Alg2Msg {
     fn bit_size(&self) -> usize {
         3 + match self {
-            Alg2Msg::Compete { layer, prio } => 6 + bits_for_value(u64::from(*layer)) + bits_for_value(*prio),
+            Alg2Msg::Compete { layer, prio } => {
+                6 + bits_for_value(u64::from(*layer)) + bits_for_value(*prio)
+            }
             Alg2Msg::CompeteG { layer, .. } => 6 + bits_for_value(u64::from(*layer)) + 17,
             Alg2Msg::Reduce(x) => bits_for_value(*x),
             Alg2Msg::Removed | Alg2Msg::AddedToIs => 0,
@@ -154,12 +156,10 @@ impl Alg2Node {
                 Alg2Msg::Removed => {
                     self.gone[*port] = true;
                 }
-                Alg2Msg::AddedToIs => {
-                    if !self.gone[*port] {
-                        // A logical neighbor joined the solution: I leave.
-                        ctx.broadcast(Alg2Msg::Removed);
-                        return Some(Status::Halt(false));
-                    }
+                Alg2Msg::AddedToIs if !self.gone[*port] => {
+                    // A logical neighbor joined the solution: I leave.
+                    ctx.broadcast(Alg2Msg::Removed);
+                    return Some(Status::Halt(false));
                 }
                 _ => {}
             }
@@ -243,7 +243,11 @@ impl Protocol for Alg2Node {
                             beaten = true;
                         }
                     }
-                    Alg2Msg::CompeteG { layer: l, pexp, marked } => {
+                    Alg2Msg::CompeteG {
+                        layer: l,
+                        pexp,
+                        marked,
+                    } => {
                         if l > layer {
                             eligible = false;
                         } else if l == layer {

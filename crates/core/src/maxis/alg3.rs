@@ -155,7 +155,10 @@ pub fn alg3(g: &Graph) -> Alg3Run {
         },
         0,
     );
-    assert!(outcome.completed, "Algorithm 3 local-ratio stage did not terminate");
+    assert!(
+        outcome.completed,
+        "Algorithm 3 local-ratio stage did not terminate"
+    );
     let lr_stats = outcome.stats.clone();
     let outputs = outcome.into_outputs();
     let independent_set = IndependentSet::from_members(
@@ -174,7 +177,10 @@ pub fn alg3(g: &Graph) -> Alg3Run {
         stats: RunStats {
             rounds: coloring.rounds + lr_stats.rounds,
             total_messages: coloring.stats.total_messages + lr_stats.total_messages,
-            max_message_bits: coloring.stats.max_message_bits.max(lr_stats.max_message_bits),
+            max_message_bits: coloring
+                .stats
+                .max_message_bits
+                .max(lr_stats.max_message_bits),
             budget_violations: coloring.stats.budget_violations + lr_stats.budget_violations,
             dropped_messages: coloring.stats.dropped_messages + lr_stats.dropped_messages,
         },
@@ -238,8 +244,16 @@ mod tests {
         // different nodes survive the reductions).
         assert_eq!(a.coloring_rounds, b.coloring_rounds);
         let cap = 4 * (g0.max_degree() + 2);
-        assert!(a.local_ratio_rounds <= cap, "W=2: {} rounds", a.local_ratio_rounds);
-        assert!(b.local_ratio_rounds <= cap, "W=2^20: {} rounds", b.local_ratio_rounds);
+        assert!(
+            a.local_ratio_rounds <= cap,
+            "W=2: {} rounds",
+            a.local_ratio_rounds
+        );
+        assert!(
+            b.local_ratio_rounds <= cap,
+            "W=2^20: {} rounds",
+            b.local_ratio_rounds
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ mod tests {
             g.set_node_weight(NodeId(leaf), 3);
         }
         let (set, iters) = naive_parallel_lr(&g);
-        assert!(set.is_empty(), "the paper's star example must select nothing");
+        assert!(
+            set.is_empty(),
+            "the paper's star example must select nothing"
+        );
         assert_eq!(iters, 1);
     }
 

@@ -88,10 +88,7 @@ pub fn sequential_local_ratio(g: &Graph, rule: SelectionRule) -> IndependentSet 
     let mut solution = IndependentSet::new(g);
     for level in levels.iter().rev() {
         for &u in level {
-            let blocked = g
-                .neighbors(u)
-                .iter()
-                .any(|&(v, _)| solution.contains(v));
+            let blocked = g.neighbors(u).iter().any(|&(v, _)| solution.contains(v));
             if !blocked {
                 solution.insert(u);
             }

@@ -54,7 +54,11 @@ impl Protocol for ProposalNode {
         self.remaining = vec![true; ctx.degree()];
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, ProposalMsg>, inbox: &[(Port, ProposalMsg)]) -> Status<Option<NodeId>> {
+    fn round(
+        &mut self,
+        ctx: &mut Context<'_, ProposalMsg>,
+        inbox: &[(Port, ProposalMsg)],
+    ) -> Status<Option<NodeId>> {
         let cycle = ctx.round().div_ceil(2);
         if ctx.round() % 2 == 1 {
             if self.is_left {
@@ -158,7 +162,10 @@ pub fn bipartite_proposal(g: &Graph, bp: &Bipartition, eps: f64, seed: u64) -> P
         },
         seed,
     );
-    assert!(outcome.completed, "proposal protocol must halt within its budget");
+    assert!(
+        outcome.completed,
+        "proposal protocol must halt within its budget"
+    );
     let stats_rounds = outcome.stats.rounds;
     let outputs = outcome.into_outputs();
     let mut matching = Matching::new(g);

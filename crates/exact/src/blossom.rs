@@ -181,8 +181,7 @@ impl<'g> Blossom<'g> {
 pub fn blossom_maximum_matching(g: &Graph) -> Matching {
     let mate = Blossom::new(g).solve();
     let mut m = Matching::new(g);
-    for v in 0..g.num_nodes() {
-        let u = mate[v];
+    for (v, &u) in mate.iter().enumerate().take(g.num_nodes()) {
         if u != NONE && v < u {
             let e = g
                 .find_edge(NodeId(v as u32), NodeId(u as u32))

@@ -23,7 +23,10 @@ use congest_graph::{EdgeId, Graph, IndependentSet, Matching, NodeId};
 /// ```
 pub fn brute_force_mwis(g: &Graph) -> IndependentSet {
     let n = g.num_nodes();
-    assert!(n <= 64, "brute-force MWIS supports at most 64 nodes, got {n}");
+    assert!(
+        n <= 64,
+        "brute-force MWIS supports at most 64 nodes, got {n}"
+    );
     if n == 0 {
         return IndependentSet::new(g);
     }
@@ -98,7 +101,9 @@ pub fn brute_force_mwis(g: &Graph) -> IndependentSet {
 
     IndependentSet::from_members(
         g,
-        (0..n).filter(|&v| search.best_set & (1u64 << v) != 0).map(|v| NodeId(v as u32)),
+        (0..n)
+            .filter(|&v| search.best_set & (1u64 << v) != 0)
+            .map(|v| NodeId(v as u32)),
     )
 }
 
@@ -176,7 +181,10 @@ mod tests {
 
     #[test]
     fn mwis_on_classics() {
-        assert_eq!(brute_force_mwis(&generators::path(4)).weight(&generators::path(4)), 2);
+        assert_eq!(
+            brute_force_mwis(&generators::path(4)).weight(&generators::path(4)),
+            2
+        );
         assert_eq!(brute_force_mwis(&generators::cycle(6)).len(), 3);
         assert_eq!(brute_force_mwis(&generators::complete(7)).len(), 1);
         let star = generators::star(10);

@@ -24,7 +24,10 @@ const INF: u32 = u32::MAX;
 /// assert_eq!(hopcroft_karp(&g, &bp).len(), 3);
 /// ```
 pub fn hopcroft_karp(g: &Graph, bp: &Bipartition) -> Matching {
-    assert!(bp.is_proper(g), "bipartition must be proper for Hopcroft-Karp");
+    assert!(
+        bp.is_proper(g),
+        "bipartition must be proper for Hopcroft-Karp"
+    );
     let left: Vec<NodeId> = bp.left().collect();
     let n = g.num_nodes();
     let mut mate = vec![NONE; n];
@@ -56,12 +59,7 @@ pub fn hopcroft_karp(g: &Graph, bp: &Bipartition) -> Matching {
         found
     };
 
-    fn dfs(
-        g: &Graph,
-        u: usize,
-        mate: &mut [usize],
-        dist: &mut [u32],
-    ) -> bool {
+    fn dfs(g: &Graph, u: usize, mate: &mut [usize], dist: &mut [u32]) -> bool {
         for i in 0..g.degree(NodeId(u as u32)) {
             let (v, _) = g.neighbors(NodeId(u as u32))[i];
             let w = mate[v.index()];

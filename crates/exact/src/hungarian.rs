@@ -31,7 +31,10 @@ const INF: i64 = i64::MAX / 4;
 /// assert_eq!(m.weight(&g), 10);
 /// ```
 pub fn hungarian_max_weight_matching(g: &Graph, bp: &Bipartition) -> Matching {
-    assert!(bp.is_proper(g), "bipartition must be proper for the Hungarian algorithm");
+    assert!(
+        bp.is_proper(g),
+        "bipartition must be proper for the Hungarian algorithm"
+    );
     let mut left: Vec<NodeId> = bp.left().collect();
     let mut right: Vec<NodeId> = bp.right().collect();
     if left.len() > right.len() {

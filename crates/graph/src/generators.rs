@@ -34,7 +34,10 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// exists), or if 1000 pairing attempts fail (vanishingly unlikely for the
 /// parameter ranges used in the workspace).
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n*d must be even for a d-regular graph"
+    );
     assert!(d < n, "d must be < n for a simple d-regular graph");
     if d == 0 {
         return GraphBuilder::with_nodes(n).build();
@@ -43,8 +46,9 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
     // from scratch on the (rare) dead ends where every remaining stub pair
     // would create a self-loop or duplicate edge.
     'attempt: for _ in 0..1000 {
-        let mut stubs: Vec<u32> =
-            (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         stubs.shuffle(rng);
         let mut b = GraphBuilder::with_nodes(n);
         while !stubs.is_empty() {

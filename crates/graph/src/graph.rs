@@ -262,10 +262,8 @@ impl Graph {
         for e in self.edges() {
             let (u, v) = self.endpoints(e);
             if keep[u.index()] && keep[v.index()] {
-                let eid = builder.add_edge(
-                    NodeId(new_of_old[u.index()]),
-                    NodeId(new_of_old[v.index()]),
-                );
+                let eid =
+                    builder.add_edge(NodeId(new_of_old[u.index()]), NodeId(new_of_old[v.index()]));
                 builder.set_edge_weight(eid, self.edge_weight(e));
             }
         }

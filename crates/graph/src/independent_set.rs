@@ -104,9 +104,8 @@ impl IndependentSet {
     /// member neighbor.
     pub fn is_maximal(&self, g: &Graph) -> bool {
         self.is_independent(g)
-            && g.nodes().all(|v| {
-                self.contains(v) || g.neighbors(v).iter().any(|&(u, _)| self.contains(u))
-            })
+            && g.nodes()
+                .all(|v| self.contains(v) || g.neighbors(v).iter().any(|&(u, _)| self.contains(u)))
     }
 
     /// Membership bitmap indexed by node id.

@@ -173,7 +173,10 @@ impl Matching {
     /// Panics if the sequence is not a valid augmenting path for the
     /// current matching.
     pub fn augment(&mut self, g: &Graph, path: &[NodeId]) {
-        assert!(path.len() >= 2 && path.len() % 2 == 0, "augmenting paths have odd length");
+        assert!(
+            path.len() >= 2 && path.len().is_multiple_of(2),
+            "augmenting paths have odd length"
+        );
         assert!(
             !self.is_matched(path[0]) && !self.is_matched(path[path.len() - 1]),
             "augmenting path endpoints must be free"

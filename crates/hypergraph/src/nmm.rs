@@ -36,7 +36,10 @@ impl NmmParams {
     /// `K = 2`, cap `= ⌈d·K²·ln(1/δ)⌉`, iterations
     /// `= ⌈d·(cap + 3d·log_K Δ)⌉ + d`.
     pub fn default_for(h: &Hypergraph, fail_prob: f64) -> Self {
-        assert!((0.0..1.0).contains(&fail_prob), "fail probability must be in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&fail_prob),
+            "fail probability must be in (0,1)"
+        );
         let d = h.rank().max(1) as f64;
         let delta = h.max_vertex_degree().max(2) as f64;
         let k = 2.0f64;
@@ -136,8 +139,7 @@ pub fn nearly_maximal_matching<R: Rng + ?Sized>(
 
     let mut iterations = 0;
     for it in 0..params.max_iterations {
-        let live_edges: Vec<usize> =
-            (0..m).filter(|&e| edge_active[e]).collect();
+        let live_edges: Vec<usize> = (0..m).filter(|&e| edge_active[e]).collect();
         if live_edges.is_empty() {
             break;
         }
@@ -347,10 +349,7 @@ mod tests {
     #[test]
     fn params_scale_with_rank() {
         let small = Hypergraph::new(4, vec![vec![NodeId(0), NodeId(1)]]);
-        let big = Hypergraph::new(
-            8,
-            vec![(0..8).map(NodeId).collect::<Vec<_>>()],
-        );
+        let big = Hypergraph::new(8, vec![(0..8).map(NodeId).collect::<Vec<_>>()]);
         let ps = NmmParams::default_for(&small, 0.1);
         let pb = NmmParams::default_for(&big, 0.1);
         assert!(pb.good_round_cap > ps.good_round_cap);

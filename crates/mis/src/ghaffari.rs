@@ -61,14 +61,20 @@ impl NmisParams {
 
     /// Unbounded variant: loop until every node decides.
     pub fn unbounded(k: f64) -> Self {
-        NmisParams { k, iterations: None }
+        NmisParams {
+            k,
+            iterations: None,
+        }
     }
 }
 
 /// Theorem 3.1 iteration budget: `⌈β(log Δ / log K + K² ln(1/δ))⌉`.
 pub fn nmis_iterations(max_degree: usize, k: f64, fail_prob: f64, beta: f64) -> usize {
     assert!(k >= 2.0, "K must be at least 2");
-    assert!((0.0..1.0).contains(&fail_prob), "fail probability must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&fail_prob),
+        "fail probability must be in (0,1)"
+    );
     assert!(beta > 0.0, "beta must be positive");
     let delta = max_degree.max(2) as f64;
     let t = beta * (delta.log2() / k.log2() + k * k * (1.0 / fail_prob).ln());
@@ -147,7 +153,11 @@ impl Protocol for NearlyMaximalIs {
         self.active = vec![true; ctx.degree()];
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, NmisMsg>, inbox: &[(Port, NmisMsg)]) -> Status<MisResult> {
+    fn round(
+        &mut self,
+        ctx: &mut Context<'_, NmisMsg>,
+        inbox: &[(Port, NmisMsg)],
+    ) -> Status<MisResult> {
         match (ctx.round() - 1) % 4 {
             0 => {
                 // Fold in Covered messages from the previous iteration,
@@ -243,7 +253,10 @@ mod tests {
         // Larger K shrinks the log Δ term but grows the K² term.
         let t_fast = nmis_iterations(1 << 30, 4.0, 0.5, 1.0);
         let t_slow = nmis_iterations(1 << 30, 2.0, 0.5, 1.0);
-        assert!(t_fast < t_slow, "K=4 should need fewer iterations at huge Δ");
+        assert!(
+            t_fast < t_slow,
+            "K=4 should need fewer iterations at huge Δ"
+        );
     }
 
     #[test]
@@ -255,7 +268,7 @@ mod tests {
     #[test]
     fn unbounded_reaches_full_maximality() {
         let mut rng = SmallRng::seed_from_u64(21);
-        let graphs = vec![
+        let graphs = [
             generators::path(20),
             generators::complete(10),
             generators::gnp(70, 0.08, &mut rng),
@@ -279,7 +292,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(33);
         let g = generators::gnp(150, 0.1, &mut rng);
         let params = NmisParams::accelerated(g.max_degree(), 0.05, 2.0);
-        let outcome = run_protocol(&g, SimConfig::congest_for(&g), |_| NearlyMaximalIs::new(params), 5);
+        let outcome = run_protocol(
+            &g,
+            SimConfig::congest_for(&g),
+            |_| NearlyMaximalIs::new(params),
+            5,
+        );
         assert!(outcome.completed);
         let results = outcome.into_outputs();
         verify_nearly_maximal(&g, &results).unwrap();
@@ -299,7 +317,12 @@ mod tests {
             k: 2.0,
             iterations: Some(10),
         };
-        let outcome = run_protocol(&g, SimConfig::congest_for(&g), |_| NearlyMaximalIs::new(params), 1);
+        let outcome = run_protocol(
+            &g,
+            SimConfig::congest_for(&g),
+            |_| NearlyMaximalIs::new(params),
+            1,
+        );
         assert!(outcome.completed);
         // 4 rounds per iteration, +1 for the final budget check.
         assert!(outcome.stats.rounds <= 4 * 10 + 1);
@@ -324,7 +347,12 @@ mod tests {
     fn respects_congest_budget() {
         let mut rng = SmallRng::seed_from_u64(44);
         let g = generators::gnp(100, 0.1, &mut rng);
-        let outcome = run_protocol(&g, SimConfig::congest_for(&g), |_| GhaffariMis::with_k(2.0), 9);
+        let outcome = run_protocol(
+            &g,
+            SimConfig::congest_for(&g),
+            |_| GhaffariMis::with_k(2.0),
+            9,
+        );
         assert_eq!(outcome.stats.budget_violations, 0);
     }
 }

@@ -73,7 +73,11 @@ impl Protocol for LubyMis {
         self.active = vec![true; ctx.degree()];
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, LubyMsg>, inbox: &[(Port, LubyMsg)]) -> Status<MisResult> {
+    fn round(
+        &mut self,
+        ctx: &mut Context<'_, LubyMsg>,
+        inbox: &[(Port, LubyMsg)],
+    ) -> Status<MisResult> {
         match (ctx.round() - 1) % 3 {
             0 => {
                 // Announce: fold in Covered messages from the previous
@@ -155,7 +159,7 @@ mod tests {
     #[test]
     fn produces_maximal_independent_set_on_families() {
         let mut rng = SmallRng::seed_from_u64(17);
-        let graphs = vec![
+        let graphs = [
             generators::path(17),
             generators::cycle(12),
             generators::star(30),
@@ -167,8 +171,7 @@ mod tests {
         for (i, g) in graphs.iter().enumerate() {
             for seed in 0..3 {
                 let (results, _) = run_luby(g, 1000 * i as u64 + seed);
-                verify_mis(g, &results)
-                    .unwrap_or_else(|e| panic!("graph {i} seed {seed}: {e}"));
+                verify_mis(g, &results).unwrap_or_else(|e| panic!("graph {i} seed {seed}: {e}"));
             }
         }
     }

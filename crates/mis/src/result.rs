@@ -64,7 +64,9 @@ pub fn verify_nearly_maximal(g: &Graph, results: &[MisResult]) -> Result<Indepen
                 .iter()
                 .any(|&(u, _)| results[u.index()].is_in_set());
             if !covered {
-                return Err(format!("node {v} claims domination but has no in-set neighbor"));
+                return Err(format!(
+                    "node {v} claims domination but has no in-set neighbor"
+                ));
             }
         }
     }
@@ -84,7 +86,10 @@ pub fn uncovered_fraction(results: &[MisResult]) -> f64 {
     if results.is_empty() {
         return 0.0;
     }
-    let undecided = results.iter().filter(|r| **r == MisResult::Undecided).count();
+    let undecided = results
+        .iter()
+        .filter(|r| **r == MisResult::Undecided)
+        .count();
     undecided as f64 / results.len() as f64
 }
 
@@ -112,7 +117,9 @@ mod tests {
     fn verify_rejects_false_domination() {
         let g = generators::path(2);
         let r = vec![MisResult::Dominated, MisResult::Dominated];
-        assert!(verify_mis(&g, &r).unwrap_err().contains("no in-set neighbor"));
+        assert!(verify_mis(&g, &r)
+            .unwrap_err()
+            .contains("no in-set neighbor"));
     }
 
     #[test]
@@ -125,7 +132,12 @@ mod tests {
 
     #[test]
     fn uncovered_fraction_counts() {
-        let r = vec![MisResult::InSet, MisResult::Undecided, MisResult::Undecided, MisResult::Dominated];
+        let r = vec![
+            MisResult::InSet,
+            MisResult::Undecided,
+            MisResult::Undecided,
+            MisResult::Dominated,
+        ];
         assert!((uncovered_fraction(&r) - 0.5).abs() < 1e-12);
         assert_eq!(uncovered_fraction(&[]), 0.0);
     }

@@ -1,5 +1,6 @@
 use congest_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
+use rayon::prelude::*;
 
 use crate::message::bits_for_count;
 use crate::rng::node_rng;
@@ -27,8 +28,8 @@ impl SimConfig {
     /// polynomial in `n`.
     pub fn congest_for(g: &Graph) -> Self {
         let id_bits = bits_for_count(g.num_nodes().max(2));
-        let weight_bits = crate::bits_for_value(g.max_node_weight().max(g.max_edge_weight()))
-            .max(id_bits);
+        let weight_bits =
+            crate::bits_for_value(g.max_node_weight().max(g.max_edge_weight())).max(id_bits);
         SimConfig {
             bit_budget: Some(8 * (id_bits + weight_bits)),
             max_rounds: 1_000_000,
@@ -82,7 +83,10 @@ pub struct RunStats {
     pub max_message_bits: usize,
     /// Messages exceeding the configured bit budget.
     pub budget_violations: u64,
-    /// Messages that arrived at nodes which had already halted.
+    /// Messages whose receiver halted in the sending round or earlier.
+    /// Round semantics are order-independent: a message sent in round `r`
+    /// is dropped iff its receiver halted in some round `≤ r`, regardless
+    /// of the relative node ids of sender and receiver.
     pub dropped_messages: u64,
 }
 
@@ -103,10 +107,33 @@ pub struct RunOutcome<O> {
 impl<O> RunOutcome<O> {
     /// Unwraps all outputs, panicking if any node failed to halt.
     ///
+    /// ```
+    /// use congest_graph::generators;
+    /// use congest_sim::{run_protocol, Context, Protocol, SimConfig, Status};
+    ///
+    /// struct MyId;
+    /// impl Protocol for MyId {
+    ///     type Msg = ();
+    ///     type Output = u32;
+    ///     fn init(&mut self, _ctx: &mut Context<'_, ()>) {}
+    ///     fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[(usize, ())])
+    ///         -> Status<u32>
+    ///     {
+    ///         Status::Halt(ctx.id().0)
+    ///     }
+    /// }
+    ///
+    /// let outcome = run_protocol(&generators::cycle(3), SimConfig::local(), |_| MyId, 0);
+    /// assert_eq!(outcome.into_outputs(), vec![0, 1, 2]);
+    /// ```
+    ///
     /// # Panics
     /// Panics if the run did not complete.
     pub fn into_outputs(self) -> Vec<O> {
-        assert!(self.completed, "run hit the round cap before all nodes halted");
+        assert!(
+            self.completed,
+            "run hit the round cap before all nodes halted"
+        );
         self.outputs
             .into_iter()
             .map(|o| o.expect("completed runs have all outputs"))
@@ -114,16 +141,56 @@ impl<O> RunOutcome<O> {
     }
 }
 
+/// Everything one node owns during a run: its protocol instance, static
+/// info, private RNG, and this round's message buffers.
+///
+/// Bundling the per-node state lets a synchronous round be executed as a
+/// *compute phase* (each slot stepped independently — sequentially or in
+/// parallel) followed by a *delivery phase* (halts applied, outboxes
+/// moved into inboxes, in ascending node order), which is what makes the
+/// round semantics independent of node processing order.
+struct NodeSlot<P: Protocol> {
+    proto: P,
+    info: NodeInfo,
+    /// `reverse_port[p]` = the port at `neighbor(p)` that leads back to
+    /// this node; used to deliver into the receiver's port-indexed inbox.
+    reverse_port: Vec<Port>,
+    rng: SmallRng,
+    inbox: Vec<(Port, P::Msg)>,
+    outbox: Vec<Option<P::Msg>>,
+    /// Output produced this round, if the node chose to halt; applied to
+    /// `active` only at the delivery phase so that drop decisions cannot
+    /// observe a half-updated round.
+    pending_halt: Option<P::Output>,
+    active: bool,
+}
+
 /// Runs one [`Protocol`] instance per node of a graph.
 ///
-/// Build with [`Engine::build`], execute with [`Engine::run`]. See the
-/// crate-level docs for an end-to-end example.
+/// Build with [`Engine::build`], execute with [`Engine::run`] (or
+/// [`Engine::run_parallel`], which produces bit-identical results using
+/// one worker per hardware thread). See the crate-level docs for an
+/// end-to-end example.
+///
+/// # Round semantics
+///
+/// Each synchronous round has two phases:
+///
+/// 1. **Compute** — every active node's [`Protocol::round`] runs against
+///    the messages sent to it in the previous round, filling its outbox
+///    and possibly deciding to halt. Nodes cannot observe each other
+///    mid-round, so the execution order (including parallel execution)
+///    cannot affect results.
+/// 2. **Deliver** — halts are applied, then every outbox is moved into
+///    the receivers' inboxes in ascending sender order. A message is
+///    dropped (counted in [`RunStats::dropped_messages`]) iff its
+///    receiver halted in the sending round or earlier.
 pub struct Engine<'g, P: Protocol> {
     graph: &'g Graph,
     config: SimConfig,
     infos: Vec<NodeInfo>,
     /// `reverse_port[v][p]` = the port at `neighbor(v, p)` that leads back
-    /// to `v`; used to deliver into the receiver's port-indexed inbox.
+    /// to `v`.
     reverse_port: Vec<Vec<Port>>,
     nodes: Vec<P>,
 }
@@ -184,89 +251,94 @@ impl<'g, P: Protocol> Engine<'g, P> {
 
     /// Runs the protocol to completion (all nodes halted) or to the round
     /// cap, using `seed` to derive every node's private RNG.
-    pub fn run(mut self, seed: u64) -> RunOutcome<P::Output> {
+    pub fn run(self, seed: u64) -> RunOutcome<P::Output> {
+        self.run_with(seed, |slots, round| {
+            for slot in slots.iter_mut() {
+                Self::step(slot, round);
+            }
+        })
+    }
+
+    /// Like [`run`](Engine::run), but executes each round's compute phase
+    /// on all hardware threads.
+    ///
+    /// Outputs, statistics, and traces are bit-identical to the
+    /// sequential path for the same `seed`: every node steps against its
+    /// own private [`SmallRng`] and per-round buffers (no cross-node
+    /// state), and message delivery stays sequential in ascending node
+    /// order.
+    pub fn run_parallel(self, seed: u64) -> RunOutcome<P::Output>
+    where
+        P: Send,
+        P::Msg: Send,
+        P::Output: Send,
+    {
+        let threads = rayon::current_num_threads().max(1);
+        self.run_with(seed, move |slots, round| {
+            let chunk = slots.len().div_ceil(threads).max(1);
+            slots.par_chunks_mut(chunk).for_each(|chunk| {
+                for slot in chunk.iter_mut() {
+                    Self::step(slot, round);
+                }
+            });
+        })
+    }
+
+    /// Shared run loop; `compute` executes one round's compute phase over
+    /// all slots (round 0 is `init`).
+    fn run_with(
+        self,
+        seed: u64,
+        compute: impl Fn(&mut [NodeSlot<P>], usize),
+    ) -> RunOutcome<P::Output> {
         let n = self.graph.num_nodes();
-        let mut rngs: Vec<SmallRng> = self
-            .graph
-            .nodes()
-            .map(|v| node_rng(seed, v))
+        let config = self.config;
+        let mut slots: Vec<NodeSlot<P>> = self
+            .nodes
+            .into_iter()
+            .zip(self.infos)
+            .zip(self.reverse_port)
+            .map(|((proto, info), reverse_port)| NodeSlot {
+                rng: node_rng(seed, info.id),
+                proto,
+                info,
+                reverse_port,
+                inbox: Vec::new(),
+                outbox: Vec::new(),
+                pending_halt: None,
+                active: true,
+            })
             .collect();
         let mut outputs: Vec<Option<P::Output>> = vec![None; n];
-        let mut active: Vec<bool> = vec![true; n];
         let mut active_count = n;
         let mut stats = RunStats::default();
         let mut traces = Vec::new();
 
-        // Inboxes for the *next* round, indexed by receiver.
-        let mut next_inbox: Vec<Vec<(Port, P::Msg)>> = vec![Vec::new(); n];
+        // Round 0: init (no inboxes yet, halting is not possible).
+        compute(&mut slots, 0);
+        Self::deliver(
+            &config,
+            &mut slots,
+            &mut outputs,
+            &mut active_count,
+            &mut stats,
+            &mut traces,
+            0,
+        );
 
-        // Reusable outbox buffer sized to the max degree.
-        let mut outbox: Vec<Option<P::Msg>> = Vec::new();
-
-        // Round 0: init.
-        for v in 0..n {
-            outbox.clear();
-            outbox.resize(self.infos[v].degree(), None);
-            let mut ctx = Context {
-                info: &self.infos[v],
-                rng: &mut rngs[v],
-                round: 0,
-                outbox: &mut outbox,
-            };
-            self.nodes[v].init(&mut ctx);
-            Self::collect(
-                &self.config,
-                &self.infos[v],
-                &self.reverse_port[v],
-                &mut outbox,
-                &active,
-                &mut next_inbox,
+        while active_count > 0 && stats.rounds < config.max_rounds {
+            stats.rounds += 1;
+            let round = stats.rounds;
+            compute(&mut slots, round);
+            Self::deliver(
+                &config,
+                &mut slots,
+                &mut outputs,
+                &mut active_count,
                 &mut stats,
                 &mut traces,
-                0,
+                round,
             );
-        }
-
-        let mut inbox_buf: Vec<(Port, P::Msg)> = Vec::new();
-        while active_count > 0 && stats.rounds < self.config.max_rounds {
-            let round = stats.rounds + 1;
-            stats.rounds = round;
-            // Swap in this round's inboxes.
-            let mut inboxes = std::mem::take(&mut next_inbox);
-            next_inbox = vec![Vec::new(); n];
-            for v in 0..n {
-                if !active[v] {
-                    continue;
-                }
-                inbox_buf.clear();
-                inbox_buf.append(&mut inboxes[v]);
-                inbox_buf.sort_by_key(|&(p, _)| p);
-                outbox.clear();
-                outbox.resize(self.infos[v].degree(), None);
-                let mut ctx = Context {
-                    info: &self.infos[v],
-                    rng: &mut rngs[v],
-                    round,
-                    outbox: &mut outbox,
-                };
-                let status = self.nodes[v].round(&mut ctx, &inbox_buf);
-                Self::collect(
-                    &self.config,
-                    &self.infos[v],
-                    &self.reverse_port[v],
-                    &mut outbox,
-                    &active,
-                    &mut next_inbox,
-                    &mut stats,
-                    &mut traces,
-                    round,
-                );
-                if let Status::Halt(out) = status {
-                    outputs[v] = Some(out);
-                    active[v] = false;
-                    active_count -= 1;
-                }
-            }
         }
 
         RunOutcome {
@@ -277,44 +349,91 @@ impl<'g, P: Protocol> Engine<'g, P> {
         }
     }
 
-    /// Moves one node's outbox into the receivers' next-round inboxes,
-    /// updating statistics.
-    #[allow(clippy::too_many_arguments)]
-    fn collect(
+    /// Compute phase for one node: sort the inbox by port, run `init`
+    /// (round 0) or `round`, and stash any halt decision in
+    /// [`NodeSlot::pending_halt`]. Touches nothing outside the slot.
+    fn step(slot: &mut NodeSlot<P>, round: usize) {
+        if !slot.active {
+            return;
+        }
+        slot.inbox.sort_unstable_by_key(|&(p, _)| p);
+        slot.outbox.clear();
+        slot.outbox.resize(slot.info.degree(), None);
+        let NodeSlot {
+            proto,
+            info,
+            rng,
+            inbox,
+            outbox,
+            pending_halt,
+            ..
+        } = slot;
+        let mut ctx = Context {
+            info,
+            rng,
+            round,
+            outbox,
+        };
+        if round == 0 {
+            proto.init(&mut ctx);
+        } else if let Status::Halt(out) = proto.round(&mut ctx, inbox) {
+            *pending_halt = Some(out);
+        }
+        slot.inbox.clear();
+    }
+
+    /// Delivery phase: apply this round's halts, then move every outbox
+    /// into the receivers' inboxes (ascending sender order), updating
+    /// statistics. Runs after *all* nodes computed, so whether a message
+    /// is dropped depends only on the set of halted nodes — never on node
+    /// processing order.
+    fn deliver(
         config: &SimConfig,
-        info: &NodeInfo,
-        reverse_port: &[Port],
-        outbox: &mut [Option<P::Msg>],
-        active: &[bool],
-        next_inbox: &mut [Vec<(Port, P::Msg)>],
+        slots: &mut [NodeSlot<P>],
+        outputs: &mut [Option<P::Output>],
+        active_count: &mut usize,
         stats: &mut RunStats,
         traces: &mut Vec<MessageTrace>,
         round: usize,
     ) {
-        for (port, slot) in outbox.iter_mut().enumerate() {
-            let Some(msg) = slot.take() else { continue };
-            let bits = msg.bit_size();
-            stats.total_messages += 1;
-            stats.max_message_bits = stats.max_message_bits.max(bits);
-            if let Some(budget) = config.bit_budget {
-                if bits > budget {
-                    stats.budget_violations += 1;
+        for (v, slot) in slots.iter_mut().enumerate() {
+            if let Some(out) = slot.pending_halt.take() {
+                debug_assert!(slot.active, "inactive nodes are never stepped");
+                outputs[v] = Some(out);
+                slot.active = false;
+                *active_count -= 1;
+            }
+        }
+        for v in 0..slots.len() {
+            // Detach the outbox so the receiver slot can be borrowed.
+            let mut outbox = std::mem::take(&mut slots[v].outbox);
+            for (port, slot_msg) in outbox.iter_mut().enumerate() {
+                let Some(msg) = slot_msg.take() else { continue };
+                let bits = msg.bit_size();
+                stats.total_messages += 1;
+                stats.max_message_bits = stats.max_message_bits.max(bits);
+                if let Some(budget) = config.bit_budget {
+                    if bits > budget {
+                        stats.budget_violations += 1;
+                    }
+                }
+                let to = slots[v].info.neighbor_ids[port].index();
+                if config.record_traces {
+                    traces.push(MessageTrace {
+                        round,
+                        from: slots[v].info.id,
+                        to: slots[to].info.id,
+                        bits,
+                    });
+                }
+                if slots[to].active {
+                    let back = slots[v].reverse_port[port];
+                    slots[to].inbox.push((back, msg));
+                } else {
+                    stats.dropped_messages += 1;
                 }
             }
-            let to = info.neighbor_ids[port];
-            if config.record_traces {
-                traces.push(MessageTrace {
-                    round,
-                    from: info.id,
-                    to,
-                    bits,
-                });
-            }
-            if active[to.index()] {
-                next_inbox[to.index()].push((reverse_port[port], msg));
-            } else {
-                stats.dropped_messages += 1;
-            }
+            slots[v].outbox = outbox;
         }
     }
 }
@@ -354,6 +473,8 @@ pub fn run_protocol<P: Protocol>(
 mod tests {
     use super::*;
     use congest_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
     /// Each node halts immediately, outputting its degree.
     struct InstantHalt;
@@ -416,8 +537,8 @@ mod tests {
             outputs[0].as_ref().unwrap(),
             &vec![NodeId(1), NodeId(2), NodeId(3)]
         );
-        for leaf in 1..4 {
-            assert_eq!(outputs[leaf].as_ref().unwrap(), &vec![NodeId(0)]);
+        for leaf in outputs.iter().skip(1) {
+            assert_eq!(leaf.as_ref().unwrap(), &vec![NodeId(0)]);
         }
     }
 
@@ -471,38 +592,69 @@ mod tests {
         assert_eq!(outcome.traces[0].to, NodeId(1));
     }
 
-    #[test]
-    fn messages_to_halted_nodes_are_dropped() {
-        // Node 0 halts in round 1; its neighbor keeps broadcasting in
-        // rounds 1 and 2, so one message (sent in round 1, delivered in
-        // round 2) arrives after node 0 halted... actually node 0 halts at
-        // round 1 after sending; node 1's round-1 message to node 0 is sent
-        // while node 0 is still active but delivered after its halt.
-        struct HaltFirst;
-        impl Protocol for HaltFirst {
-            type Msg = u32;
-            type Output = ();
-            fn init(&mut self, ctx: &mut Context<'_, u32>) {
-                ctx.broadcast(0);
-            }
-            fn round(&mut self, ctx: &mut Context<'_, u32>, _inbox: &[(Port, u32)]) -> Status<()> {
-                if ctx.id().0 == 0 || ctx.round() >= 2 {
-                    Status::Halt(())
-                } else {
-                    ctx.broadcast(1);
-                    Status::Active
-                }
+    /// One designated node halts in round 1; the other keeps broadcasting
+    /// through round 2. The broadcaster's round-1 message reaches a node
+    /// that halted in round 1, so exactly that one message must be
+    /// dropped — whichever of the two ids halts.
+    struct HaltOne {
+        halter: u32,
+    }
+    impl Protocol for HaltOne {
+        type Msg = u32;
+        type Output = ();
+        fn init(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.broadcast(0);
+        }
+        fn round(&mut self, ctx: &mut Context<'_, u32>, _inbox: &[(Port, u32)]) -> Status<()> {
+            if ctx.id().0 == self.halter || ctx.round() >= 2 {
+                Status::Halt(())
+            } else {
+                ctx.broadcast(1);
+                Status::Active
             }
         }
-        let g = generators::path(2);
-        let outcome = run_protocol(&g, SimConfig::local(), |_| HaltFirst, 0);
-        assert!(outcome.completed);
-        assert_eq!(outcome.stats.dropped_messages, 1);
+    }
+
+    #[test]
+    fn messages_to_halted_nodes_are_dropped() {
+        // Timeline on the path 0–1 (halter = node h, sender = the other
+        // node s):
+        //   init:    both broadcast; both messages delivered in round 1.
+        //   round 1: h halts; s broadcasts and stays active. s's message
+        //            is *sent* in h's halting round → dropped.
+        //   round 2: s (empty inbox) halts.
+        for halter in [0u32, 1] {
+            let g = generators::path(2);
+            let outcome = run_protocol(&g, SimConfig::local(), |_| HaltOne { halter }, 0);
+            assert!(outcome.completed);
+            assert_eq!(outcome.stats.rounds, 2);
+            assert_eq!(outcome.stats.total_messages, 3);
+            assert_eq!(
+                outcome.stats.dropped_messages, 1,
+                "drop accounting must not depend on whether the halter's \
+                 id is smaller (halter = {halter})"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_semantics_do_not_depend_on_node_order() {
+        // Stronger variant on a star: the center halts in round 1 while
+        // every leaf (ids both above and below the center's would-be
+        // position) broadcasts in round 1. All leaf messages sent in
+        // round 1 target the halted center and must be dropped; count is
+        // the same no matter which node is the halter.
+        let g = generators::star(5);
+        let center = run_protocol(&g, SimConfig::local(), |_| HaltOne { halter: 0 }, 0);
+        assert_eq!(center.stats.dropped_messages, 4);
+        let leaf = run_protocol(&g, SimConfig::local(), |_| HaltOne { halter: 3 }, 0);
+        // Only the center neighbors the halting leaf, so exactly its
+        // round-1 message to the leaf is dropped.
+        assert_eq!(leaf.stats.dropped_messages, 1);
     }
 
     #[test]
     fn determinism_across_runs() {
-        use rand::Rng;
         struct Roll;
         impl Protocol for Roll {
             type Msg = ();
@@ -521,5 +673,81 @@ mod tests {
         let cx: Vec<_> = c.outputs.iter().map(|o| o.unwrap()).collect();
         assert_eq!(ax, bx);
         assert_ne!(ax, cx);
+    }
+
+    /// Message-heavy randomized protocol with staggered halts, used to
+    /// pit the sequential and parallel executors against each other:
+    /// every node draws a private deadline, then gossips random values,
+    /// folding everything it hears into a running hash.
+    struct RandomGossip {
+        deadline: usize,
+        acc: u64,
+    }
+    impl Protocol for RandomGossip {
+        type Msg = u64;
+        type Output = u64;
+        fn init(&mut self, ctx: &mut Context<'_, u64>) {
+            self.deadline = ctx.rng().random_range(1..=8);
+            let roll: u64 = ctx.rng().random();
+            self.acc = roll;
+            ctx.broadcast(roll & 0xFFFF);
+        }
+        fn round(&mut self, ctx: &mut Context<'_, u64>, inbox: &[(Port, u64)]) -> Status<u64> {
+            for &(port, m) in inbox {
+                self.acc = self
+                    .acc
+                    .rotate_left(7)
+                    .wrapping_add(m)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ port as u64;
+            }
+            if ctx.round() >= self.deadline {
+                Status::Halt(self.acc)
+            } else {
+                let roll: u64 = ctx.rng().random();
+                ctx.broadcast(roll & 0xFFFF);
+                Status::Active
+            }
+        }
+    }
+
+    fn gossip() -> RandomGossip {
+        RandomGossip {
+            deadline: 0,
+            acc: 0,
+        }
+    }
+
+    #[test]
+    fn run_parallel_is_bit_identical_to_run_on_gnp_1000() {
+        let mut rng = SmallRng::seed_from_u64(2024);
+        let g = generators::gnp(1000, 0.008, &mut rng);
+        let config = SimConfig::congest_for(&g).with_traces();
+        for seed in [1u64, 77] {
+            let seq = Engine::build(&g, config.clone(), |_| gossip()).run(seed);
+            let par = Engine::build(&g, config.clone(), |_| gossip()).run_parallel(seed);
+            assert!(seq.completed && par.completed);
+            assert_eq!(seq.outputs, par.outputs);
+            assert_eq!(seq.stats, par.stats);
+            assert_eq!(seq.traces, par.traces);
+            // The staggered deadlines make some messages arrive at halted
+            // nodes, so the run exercises the drop path it certifies.
+            assert!(seq.stats.dropped_messages > 0);
+            assert!(seq.stats.total_messages > 1000);
+        }
+    }
+
+    #[test]
+    fn run_parallel_matches_run_on_tiny_and_empty_graphs() {
+        for g in [
+            generators::path(1),
+            generators::path(2),
+            generators::complete(9),
+        ] {
+            let seq = Engine::build(&g, SimConfig::local(), |_| gossip()).run(5);
+            let par = Engine::build(&g, SimConfig::local(), |_| gossip()).run_parallel(5);
+            assert_eq!(seq.outputs, par.outputs);
+            assert_eq!(seq.stats, par.stats);
+        }
     }
 }

@@ -69,7 +69,10 @@ fn main() {
     // Cross-check against explicit enumeration.
     let active = vec![true; g.num_nodes()];
     let paths = enumerate_augmenting_paths(&g, &m, &active, d, 10_000);
-    println!("\nDFS enumeration finds {} length-3 augmenting paths:", paths.len());
+    println!(
+        "\nDFS enumeration finds {} length-3 augmenting paths:",
+        paths.len()
+    );
     for p in &paths {
         let s: Vec<String> = p.iter().map(|v| v.to_string()).collect();
         println!("  {}", s.join(" → "));

@@ -35,7 +35,13 @@ impl EdgeProtocol for Contention {
     fn contribution(&self, _round: usize) -> u64 {
         self.score
     }
-    fn step(&mut self, round: usize, agg: u64, rng: &mut SmallRng, _info: &EdgeInfo) -> Option<usize> {
+    fn step(
+        &mut self,
+        round: usize,
+        agg: u64,
+        rng: &mut SmallRng,
+        _info: &EdgeInfo,
+    ) -> Option<usize> {
         if self.score > agg && self.score > 0 {
             return Some(round);
         }

@@ -35,7 +35,11 @@ fn main() {
         g.num_edges(),
         g.max_edge_weight()
     );
-    println!("exact optimum (Hungarian): {} surplus, {} trades\n", opt_w, opt.len());
+    println!(
+        "exact optimum (Hungarian): {} surplus, {} trades\n",
+        opt_w,
+        opt.len()
+    );
 
     let lr = mwm_lr_randomized(&g, &Alg2Config::default(), seed);
     println!(

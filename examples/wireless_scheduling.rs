@@ -17,7 +17,11 @@ use congest_graph::{generators, Graph};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn drain(_g: &Graph, queues: &mut [u64], scheduled: impl Iterator<Item = congest_graph::NodeId>) -> u64 {
+fn drain(
+    _g: &Graph,
+    queues: &mut [u64],
+    scheduled: impl Iterator<Item = congest_graph::NodeId>,
+) -> u64 {
     let mut total = 0;
     for v in scheduled {
         total += queues[v.index()];
@@ -30,16 +34,23 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(99);
     let (rows, cols) = (8, 8);
     let mut g = generators::grid(rows, cols);
-    let mut queues: Vec<u64> = (0..g.num_nodes()).map(|_| rng.random_range(1..=100)).collect();
+    let mut queues: Vec<u64> = (0..g.num_nodes())
+        .map(|_| rng.random_range(1..=100))
+        .collect();
     let mut greedy_queues = queues.clone();
 
-    println!("wireless grid {rows}×{cols}: Δ = {}, scheduling 6 slots\n", g.max_degree());
+    println!(
+        "wireless grid {rows}×{cols}: Δ = {}, scheduling 6 slots\n",
+        g.max_degree()
+    );
     println!("slot | local-ratio throughput | greedy throughput | backlog (LR)");
     println!("-----|------------------------|-------------------|-------------");
 
     for slot in 1..=6 {
         // The same new traffic arrives at both schedulers' queues.
-        let arrivals: Vec<u64> = (0..g.num_nodes()).map(|_| rng.random_range(0..=20)).collect();
+        let arrivals: Vec<u64> = (0..g.num_nodes())
+            .map(|_| rng.random_range(0..=20))
+            .collect();
         for (q, a) in queues.iter_mut().zip(&arrivals) {
             *q += a;
         }

@@ -1,0 +1,60 @@
+//! Parallel operations over slices.
+
+/// Mirror of `rayon::slice::ParallelSliceMut` restricted to
+/// [`par_chunks_mut`](ParallelSliceMut::par_chunks_mut).
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of at most `chunk_size` elements that
+    /// parallel operations run over.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice (see
+/// [`ParallelSliceMut::par_chunks_mut`]).
+pub struct ParChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Runs `f` on every chunk, on at most
+    /// [`current_num_threads`](crate::current_num_threads) scoped threads
+    /// (each worker processes a contiguous batch of chunks), so
+    /// fine-grained splits cannot exhaust OS threads.
+    ///
+    /// Single-chunk or single-worker splits run inline on the calling
+    /// thread, so the sequential case pays no thread-spawn cost.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        let mut chunks: Vec<&mut [T]> = self.slice.chunks_mut(self.chunk_size).collect();
+        let workers = crate::current_num_threads().clamp(1, chunks.len().max(1));
+        if workers <= 1 {
+            for chunk in chunks {
+                f(chunk);
+            }
+            return;
+        }
+        let per_worker = chunks.len().div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|s| {
+            for batch in chunks.chunks_mut(per_worker) {
+                s.spawn(move || {
+                    for chunk in batch.iter_mut() {
+                        f(chunk);
+                    }
+                });
+            }
+        });
+    }
+}

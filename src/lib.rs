@@ -1,0 +1,19 @@
+//! Root package of the `congest-approx` workspace.
+//!
+//! This crate holds no algorithm code; it exists so the end-to-end
+//! programs in `examples/` (quickstart, market matching, wireless
+//! scheduling, …) have a package to live in. The actual library surface
+//! is split across the workspace crates:
+//!
+//! * [`congest_graph`] — graphs, generators, solution containers.
+//! * [`congest_sim`] — the synchronous CONGEST/LOCAL round engine.
+//! * [`congest_approx`] — the paper's approximation algorithms.
+//! * [`congest_exact`] — exact baselines (blossom, Hopcroft–Karp, …).
+//!
+//! They are re-exported here so examples and downstream experiments can
+//! reach everything through one dependency.
+
+pub use congest_approx;
+pub use congest_exact;
+pub use congest_graph;
+pub use congest_sim;

@@ -14,15 +14,24 @@ pub fn corpus(seed: u64, max_weight: u64) -> Vec<(String, Graph)> {
         ("star-24".to_string(), generators::star(24)),
         ("grid-6x6".to_string(), generators::grid(6, 6)),
         ("complete-9".to_string(), generators::complete(9)),
-        ("kbipartite-6-8".to_string(), generators::complete_bipartite(6, 8)),
+        (
+            "kbipartite-6-8".to_string(),
+            generators::complete_bipartite(6, 8),
+        ),
         ("gnp-60".to_string(), generators::gnp(60, 0.08, &mut rng)),
-        ("regular-48-4".to_string(), generators::random_regular(48, 4, &mut rng)),
+        (
+            "regular-48-4".to_string(),
+            generators::random_regular(48, 4, &mut rng),
+        ),
         ("tree-40".to_string(), generators::random_tree(40, &mut rng)),
         (
             "bipartite-15-15".to_string(),
             generators::random_bipartite(15, 15, 0.25, &mut rng),
         ),
-        ("ba-50-2".to_string(), generators::barabasi_albert(50, 2, &mut rng)),
+        (
+            "ba-50-2".to_string(),
+            generators::barabasi_albert(50, 2, &mut rng),
+        ),
     ];
     for (_, g) in graphs.iter_mut() {
         if max_weight > 1 {

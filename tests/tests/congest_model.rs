@@ -27,7 +27,12 @@ fn congest_budget_respected_by_all_node_protocols() {
         assert_eq!(r3.stats.budget_violations, 0, "{name}: alg3");
         let luby = run_protocol(&g, SimConfig::congest_for(&g), |_| LubyMis::new(), 1);
         assert_eq!(luby.stats.budget_violations, 0, "{name}: luby");
-        let gh = run_protocol(&g, SimConfig::congest_for(&g), |_| GhaffariMis::with_k(2.0), 1);
+        let gh = run_protocol(
+            &g,
+            SimConfig::congest_for(&g),
+            |_| GhaffariMis::with_k(2.0),
+            1,
+        );
         assert_eq!(gh.stats.budget_violations, 0, "{name}: ghaffari");
         let col = deterministic_delta_plus_one(&g);
         assert_eq!(col.stats.budget_violations, 0, "{name}: coloring");
@@ -97,7 +102,13 @@ impl EdgeProtocol for Race {
     fn contribution(&self, _round: usize) -> u64 {
         self.score
     }
-    fn step(&mut self, round: usize, agg: u64, rng: &mut SmallRng, _info: &EdgeInfo) -> Option<(usize, u64)> {
+    fn step(
+        &mut self,
+        round: usize,
+        agg: u64,
+        rng: &mut SmallRng,
+        _info: &EdgeInfo,
+    ) -> Option<(usize, u64)> {
         if self.score > agg && self.score > 0 {
             return Some((round, self.score));
         }

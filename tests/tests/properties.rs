@@ -1,6 +1,9 @@
 //! Property-based tests (proptest) on the workspace's core invariants.
 
-use congest_approx::maxis::{alg2, delta_bound_satisfied, sequential_local_ratio, Alg2Config, SelectionRule};
+use congest_approx::matching::{mwm_lr_deterministic, mwm_lr_randomized};
+use congest_approx::maxis::{
+    alg2, alg3, delta_bound_satisfied, sequential_local_ratio, Alg2Config, SelectionRule,
+};
 use congest_exact::{
     blossom_maximum_matching, brute_force_mwis, brute_force_mwm, greedy_matching, hopcroft_karp,
 };
@@ -148,6 +151,67 @@ proptest! {
         let m = greedy_matching(&g);
         let total: u64 = m.edges(&g).map(|e| g.edge_weight(e)).sum();
         prop_assert_eq!(m.weight(&g), total);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Cross-validation of the paper's distributed algorithms against the
+    // `congest_exact` baselines on brute-forceable graphs (n ≤ 12): the
+    // distributed outputs must be valid solutions and within the paper's
+    // approximation factors (Δ for MaxIS, 2 for MWM) of the true optimum.
+
+    #[test]
+    fn alg2_maxis_cross_validates_against_brute_force(g in arb_graph(12), seed in 0u64..500) {
+        let run = alg2(&g, &Alg2Config::default(), seed);
+        prop_assert!(run.independent_set.is_independent(&g));
+        let opt = brute_force_mwis(&g).weight(&g);
+        prop_assert!(run.independent_set.weight(&g) <= opt);
+        prop_assert!(delta_bound_satisfied(&g, run.independent_set.weight(&g), opt));
+    }
+
+    #[test]
+    fn alg3_maxis_cross_validates_against_brute_force(g in arb_graph(12)) {
+        let run = alg3(&g);
+        prop_assert!(run.independent_set.is_independent(&g));
+        let opt = brute_force_mwis(&g).weight(&g);
+        prop_assert!(run.independent_set.weight(&g) <= opt);
+        prop_assert!(delta_bound_satisfied(&g, run.independent_set.weight(&g), opt));
+    }
+
+    #[test]
+    fn lr_matching_randomized_is_2_approx_of_brute_force(g in arb_graph(12), seed in 0u64..500) {
+        let run = mwm_lr_randomized(&g, &Alg2Config::default(), seed);
+        prop_assert!(run.matching.is_valid(&g));
+        let opt = brute_force_mwm(&g).weight(&g);
+        prop_assert!(run.matching.weight(&g) <= opt);
+        prop_assert!(2 * run.matching.weight(&g) >= opt, "2-approximation violated: alg {} vs opt {}", run.matching.weight(&g), opt);
+    }
+
+    #[test]
+    fn lr_matching_deterministic_is_2_approx_of_brute_force(g in arb_graph(12)) {
+        let run = mwm_lr_deterministic(&g);
+        prop_assert!(run.matching.is_valid(&g));
+        let opt = brute_force_mwm(&g).weight(&g);
+        prop_assert!(run.matching.weight(&g) <= opt);
+        prop_assert!(2 * run.matching.weight(&g) >= opt, "2-approximation violated: alg {} vs opt {}", run.matching.weight(&g), opt);
+    }
+
+    #[test]
+    fn lr_matching_cross_validates_against_hopcroft_karp(g in arb_bipartite(6), seed in 0u64..500) {
+        // On unit weights, maximum weight = maximum cardinality, so
+        // Hopcroft–Karp provides the exact optimum on bipartite inputs.
+        let mut unit = g.clone();
+        for e in unit.edges().collect::<Vec<_>>() {
+            unit.set_edge_weight(e, 1);
+        }
+        let bp = Bipartition::of(&unit).expect("generated bipartite");
+        let opt = hopcroft_karp(&unit, &bp).len() as u64;
+        let run = mwm_lr_randomized(&unit, &Alg2Config::default(), seed);
+        prop_assert!(run.matching.is_valid(&unit));
+        prop_assert!(run.matching.len() as u64 <= opt);
+        prop_assert!(2 * run.matching.len() as u64 >= opt);
     }
 }
 

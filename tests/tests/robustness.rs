@@ -37,13 +37,18 @@ fn disconnected_graphs_work_everywhere() {
     assert!(r2.independent_set.is_independent(&g));
     // Isolated nodes must always be selected.
     for v in 11..16u32 {
-        assert!(r2.independent_set.contains(NodeId(v)), "isolated v{v} missing");
+        assert!(
+            r2.independent_set.contains(NodeId(v)),
+            "isolated v{v} missing"
+        );
     }
     let r3 = alg3(&g);
     for v in 11..16u32 {
         assert!(r3.independent_set.contains(NodeId(v)));
     }
-    assert!(mwm_lr_randomized(&g, &Alg2Config::default(), 5).matching.is_valid(&g));
+    assert!(mwm_lr_randomized(&g, &Alg2Config::default(), 5)
+        .matching
+        .is_valid(&g));
     assert!(mwm_lr_deterministic(&g).matching.is_valid(&g));
     assert!(mwm_grouped(&g, 5).matching.is_valid(&g));
     assert!(mcm_two_plus_eps(&g, 0.5, 5).matching.is_valid(&g));
@@ -53,10 +58,15 @@ fn disconnected_graphs_work_everywhere() {
 
 #[test]
 fn single_node_and_empty_graphs() {
-    for g in [GraphBuilder::new().build(), GraphBuilder::with_nodes(1).build()] {
+    for g in [
+        GraphBuilder::new().build(),
+        GraphBuilder::with_nodes(1).build(),
+    ] {
         assert!(alg2(&g, &Alg2Config::default(), 1).independent_set.len() == g.num_nodes());
         assert!(alg3(&g).independent_set.len() == g.num_nodes());
-        assert!(mwm_lr_randomized(&g, &Alg2Config::default(), 1).matching.is_empty());
+        assert!(mwm_lr_randomized(&g, &Alg2Config::default(), 1)
+            .matching
+            .is_empty());
         assert!(mcm_two_plus_eps(&g, 0.5, 1).matching.is_empty());
     }
 }
@@ -72,9 +82,15 @@ fn extreme_weight_skew() {
     }
     g.set_node_weight(NodeId(7), 1 << 40);
     let r2 = alg2(&g, &Alg2Config::default(), 9);
-    assert!(r2.independent_set.contains(NodeId(7)), "alg2 missed the whale");
+    assert!(
+        r2.independent_set.contains(NodeId(7)),
+        "alg2 missed the whale"
+    );
     let r3 = alg3(&g);
-    assert!(r3.independent_set.contains(NodeId(7)), "alg3 missed the whale");
+    assert!(
+        r3.independent_set.contains(NodeId(7)),
+        "alg3 missed the whale"
+    );
 }
 
 #[test]
@@ -87,7 +103,10 @@ fn extreme_edge_weight_skew() {
     let whale = congest_graph::EdgeId(0);
     g.set_edge_weight(whale, 1 << 40);
     for (name, m) in [
-        ("lr-rand", mwm_lr_randomized(&g, &Alg2Config::default(), 3).matching),
+        (
+            "lr-rand",
+            mwm_lr_randomized(&g, &Alg2Config::default(), 3).matching,
+        ),
         ("lr-det", mwm_lr_deterministic(&g).matching),
         ("grouped", mwm_grouped(&g, 3).matching),
         ("fast-weighted", mwm_two_plus_eps(&g, 0.5, 3).matching),
@@ -135,8 +154,13 @@ fn grouped_and_linegraph_matchings_have_comparable_weight() {
         if g.num_edges() == 0 {
             continue;
         }
-        let a = mwm_lr_randomized(&g, &Alg2Config::default(), trial).matching.weight(&g);
+        let a = mwm_lr_randomized(&g, &Alg2Config::default(), trial)
+            .matching
+            .weight(&g);
         let b = mwm_grouped(&g, trial).matching.weight(&g);
-        assert!(2 * a >= b && 2 * b >= a, "trial {trial}: weights {a} vs {b} diverge");
+        assert!(
+            2 * a >= b && 2 * b >= a,
+            "trial {trial}: weights {a} vs {b} diverge"
+        );
     }
 }
