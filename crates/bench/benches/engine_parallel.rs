@@ -1,6 +1,6 @@
-//! Sequential vs parallel engine execution on G(n,p) graphs.
+//! Sequential vs parallel engine execution across graph topologies.
 
-use congest_graph::generators;
+use congest_graph::{generators, Graph};
 use congest_mis::LubyMis;
 use congest_sim::{Engine, SimConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -32,9 +32,50 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same engine comparison on topology shapes beyond G(n,p):
+/// small-world (Watts–Strogatz), clustered scale-free (Holme–Kim), and
+/// preferential attachment (Barabási–Albert).
+fn bench_engine_topologies(c: &mut Criterion) {
+    let n = 4_000usize;
+    let mut rng = SmallRng::seed_from_u64(42);
+    let shapes: Vec<(&str, Graph)> = vec![
+        (
+            "watts_strogatz",
+            generators::watts_strogatz(n, 8, 0.1, &mut rng),
+        ),
+        (
+            "power_law_cluster",
+            generators::power_law_cluster(n, 4, 0.5, &mut rng),
+        ),
+        (
+            "barabasi_albert",
+            generators::barabasi_albert(n, 4, &mut rng),
+        ),
+    ];
+    let mut group = c.benchmark_group("engine_topology_luby");
+    for (name, g) in &shapes {
+        let config = SimConfig::congest_for(g);
+        group.bench_with_input(BenchmarkId::new("run", name), g, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(Engine::build(g, config.clone(), |_| LubyMis::new()).run(seed))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("run_parallel", name), g, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(Engine::build(g, config.clone(), |_| LubyMis::new()).run_parallel(seed))
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_engine
+    targets = bench_engine, bench_engine_topologies
 }
 criterion_main!(benches);

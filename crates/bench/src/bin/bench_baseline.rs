@@ -1,0 +1,80 @@
+//! Machine-readable engine performance baseline.
+//!
+//! Times the three phases of the canonical gnp-1000 Luby-MIS workload —
+//! `Engine::build`, `Engine::run`, and `Engine::run_parallel` — and writes
+//! the medians to `BENCH_engine.json` (first CLI argument overrides the
+//! path). The JSON is checked into the repository so successive PRs leave
+//! a perf trajectory; CI and reviewers diff it rather than re-deriving
+//! numbers from criterion logs.
+//!
+//! ```text
+//! cargo run --release -p congest-bench --bin bench_baseline
+//! ```
+
+use congest_graph::generators;
+use congest_mis::LubyMis;
+use congest_sim::{Engine, SimConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Timed samples per phase; the median is robust to scheduler noise.
+const SAMPLES: usize = 21;
+
+/// Median of a sample set in nanoseconds.
+fn median_ns(mut xs: Vec<u128>) -> u128 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// Collects SAMPLES timings from `f` (which returns the ns of just the
+/// phase it measures, so setup like `Engine::build` stays outside the
+/// timed window) and returns the median.
+fn measure(mut f: impl FnMut() -> u128) -> u128 {
+    // One warm-up pass so first-touch page faults don't land in sample 0.
+    f();
+    let samples = (0..SAMPLES).map(|_| f()).collect();
+    median_ns(samples)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let n = 1_000usize;
+    let mut rng = SmallRng::seed_from_u64(n as u64);
+    let g = generators::gnp(n, 8.0 / n as f64, &mut rng);
+    let config = SimConfig::congest_for(&g);
+
+    let build_ns = measure(|| {
+        let start = Instant::now();
+        black_box(Engine::build(&g, config.clone(), |_| LubyMis::new()));
+        start.elapsed().as_nanos()
+    });
+    let mut seed = 0u64;
+    let run_ns = measure(|| {
+        seed += 1;
+        let engine = Engine::build(&g, config.clone(), |_| LubyMis::new());
+        let start = Instant::now();
+        black_box(engine.run(seed));
+        start.elapsed().as_nanos()
+    });
+    seed = 0;
+    let run_parallel_ns = measure(|| {
+        seed += 1;
+        let engine = Engine::build(&g, config.clone(), |_| LubyMis::new());
+        let start = Instant::now();
+        black_box(engine.run_parallel(seed));
+        start.elapsed().as_nanos()
+    });
+
+    let json = format!(
+        "{{\n  \"bench\": \"engine_gnp_luby\",\n  \"graph\": {{ \"family\": \"gnp\", \"n\": {n}, \"p\": {p}, \"seed\": {n}, \"edges\": {m} }},\n  \"protocol\": \"LubyMis\",\n  \"samples\": {SAMPLES},\n  \"median_ns\": {{\n    \"build\": {build_ns},\n    \"run\": {run_ns},\n    \"run_parallel\": {run_parallel_ns}\n  }}\n}}\n",
+        p = 8.0 / n as f64,
+        m = g.num_edges(),
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("wrote {out_path}:\n{json}");
+}

@@ -83,7 +83,7 @@ pub fn attenuated_sums(
                 .filter(|v| dist[v.index()] == Some(t - 1) && bp.is_left(*v))
                 .collect();
             for a in senders {
-                for &(b, e) in g.neighbors(a) {
+                for (b, e) in g.neighbors(a) {
                     if !active[b.index()] || !bp.is_right(b) || m.contains(g, e) {
                         continue;
                     }

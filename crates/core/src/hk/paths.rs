@@ -61,7 +61,7 @@ fn dfs(
         return;
     }
     let need_matched = depth % 2 == 1;
-    for &(u, e) in g.neighbors(v) {
+    for (u, e) in g.neighbors(v) {
         if !active[u.index()] || on_path[u.index()] {
             continue;
         }

@@ -94,7 +94,7 @@ pub fn run_aggregated<P: EdgeProtocol>(
     // Incident edge lists per node, fixed for the run.
     let incident: Vec<Vec<usize>> = g
         .nodes()
-        .map(|v| g.neighbors(v).iter().map(|&(_, e)| e.index()).collect())
+        .map(|v| g.neighbor_edges(v).iter().map(|e| e.index()).collect())
         .collect();
 
     while undecided > 0 && line_rounds < max_line_rounds {

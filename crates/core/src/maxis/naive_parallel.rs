@@ -31,7 +31,7 @@ pub fn naive_parallel_lr(g: &Graph) -> (IndependentSet, usize) {
         // Everyone reduces its own closed neighborhood simultaneously.
         for &v in &live {
             w[v] -= snapshot[v];
-            for &(u, _) in g.neighbors(NodeId(v as u32)) {
+            for &u in g.neighbor_ids(NodeId(v as u32)) {
                 if alive[u.index()] {
                     w[u.index()] -= snapshot[v];
                 }
@@ -51,7 +51,7 @@ pub fn naive_parallel_lr(g: &Graph) -> (IndependentSet, usize) {
     let mut solution = IndependentSet::new(g);
     for level in levels.iter().rev() {
         for &u in level {
-            let blocked = g.neighbors(u).iter().any(|&(v, _)| solution.contains(v));
+            let blocked = g.neighbor_ids(u).iter().any(|&v| solution.contains(v));
             if !blocked {
                 solution.insert(u);
             }

@@ -66,7 +66,7 @@ pub fn sequential_local_ratio(g: &Graph, rule: SelectionRule) -> IndependentSet 
         let level_weights: Vec<i64> = u_set.iter().map(|&u| w[u.index()]).collect();
         for (&u, &wu) in u_set.iter().zip(&level_weights) {
             w[u.index()] -= wu;
-            for &(v, _) in g.neighbors(u) {
+            for &v in g.neighbor_ids(u) {
                 if alive[v.index()] {
                     w[v.index()] -= wu;
                 }
@@ -88,7 +88,7 @@ pub fn sequential_local_ratio(g: &Graph, rule: SelectionRule) -> IndependentSet 
     let mut solution = IndependentSet::new(g);
     for level in levels.iter().rev() {
         for &u in level {
-            let blocked = g.neighbors(u).iter().any(|&(v, _)| solution.contains(v));
+            let blocked = g.neighbor_ids(u).iter().any(|&v| solution.contains(v));
             if !blocked {
                 solution.insert(u);
             }
@@ -131,7 +131,7 @@ fn greedy_mis_among(g: &Graph, nodes: &[NodeId]) -> Vec<NodeId> {
             continue;
         }
         chosen.push(v);
-        for &(u, _) in g.neighbors(v) {
+        for &u in g.neighbor_ids(v) {
             blocked.insert(u);
         }
     }

@@ -35,9 +35,9 @@ impl<'g> Blossom<'g> {
 
     fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
         self.g
-            .neighbors(NodeId(v as u32))
+            .neighbor_ids(NodeId(v as u32))
             .iter()
-            .map(|&(u, _)| u.index())
+            .map(|u| u.index())
     }
 
     /// Lowest common ancestor of `a` and `b` in the alternating tree,

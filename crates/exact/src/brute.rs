@@ -33,9 +33,9 @@ pub fn brute_force_mwis(g: &Graph) -> IndependentSet {
     let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     let adj: Vec<u64> = (0..n)
         .map(|v| {
-            g.neighbors(NodeId(v as u32))
+            g.neighbor_ids(NodeId(v as u32))
                 .iter()
-                .fold(0u64, |m, &(u, _)| m | (1u64 << u.index()))
+                .fold(0u64, |m, &u| m | (1u64 << u.index()))
         })
         .collect();
     let weights: Vec<u64> = g.node_weights().to_vec();

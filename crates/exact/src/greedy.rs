@@ -43,7 +43,7 @@ pub fn greedy_mwis(g: &Graph) -> IndependentSet {
         }
         set.insert(v);
         blocked[v.index()] = true;
-        for &(u, _) in g.neighbors(v) {
+        for &u in g.neighbor_ids(v) {
             blocked[u.index()] = true;
         }
     }

@@ -46,7 +46,7 @@ pub fn hopcroft_karp(g: &Graph, bp: &Bipartition) -> Matching {
         }
         let mut found = false;
         while let Some(u) = queue.pop_front() {
-            for &(v, _) in g.neighbors(NodeId(u as u32)) {
+            for &v in g.neighbor_ids(NodeId(u as u32)) {
                 let w = mate[v.index()];
                 if w == NONE {
                     found = true;
@@ -61,7 +61,7 @@ pub fn hopcroft_karp(g: &Graph, bp: &Bipartition) -> Matching {
 
     fn dfs(g: &Graph, u: usize, mate: &mut [usize], dist: &mut [u32]) -> bool {
         for i in 0..g.degree(NodeId(u as u32)) {
-            let (v, _) = g.neighbors(NodeId(u as u32))[i];
+            let v = g.neighbor_ids(NodeId(u as u32))[i];
             let w = mate[v.index()];
             if w == NONE || (dist[w] == dist[u] + 1 && dfs(g, w, mate, dist)) {
                 mate[u] = v.index();

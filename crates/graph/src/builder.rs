@@ -119,20 +119,73 @@ impl GraphBuilder {
         self.edge_weights[e.index()] = weight;
     }
 
-    /// Finalizes the graph, building sorted adjacency lists.
+    /// Finalizes the graph, building the flat CSR adjacency (rows sorted by
+    /// neighbor id) plus the derived reverse-port and per-port edge-weight
+    /// tables, in `O(n + m log Δ)` total (`O(n + m)` except the row sort).
     pub fn build(self) -> Graph {
         let n = self.node_weights.len();
-        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); n];
+        let m = self.edges.len();
+
+        // Degree-count pass → prefix sums → row offsets.
+        let mut row_offsets = vec![0u32; n + 1];
+        for &(u, v) in &self.edges {
+            row_offsets[u.index() + 1] += 1;
+            row_offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            row_offsets[i + 1] += row_offsets[i];
+        }
+
+        // Scatter each edge into its two rows, then sort every row by
+        // neighbor id (ids and edge ids move together, so scatter pairs
+        // first and split into the two flat columns afterwards).
+        let mut pairs: Vec<(NodeId, EdgeId)> = vec![(NodeId(0), EdgeId(0)); 2 * m];
+        let mut cursor: Vec<u32> = row_offsets[..n].to_vec();
         for (i, &(u, v)) in self.edges.iter().enumerate() {
             let e = EdgeId(i as u32);
-            adj[u.index()].push((v, e));
-            adj[v.index()].push((u, e));
+            pairs[cursor[u.index()] as usize] = (v, e);
+            cursor[u.index()] += 1;
+            pairs[cursor[v.index()] as usize] = (u, e);
+            cursor[v.index()] += 1;
         }
-        for row in &mut adj {
-            row.sort_unstable_by_key(|&(w, _)| w);
+        for w in row_offsets.windows(2) {
+            pairs[w[0] as usize..w[1] as usize].sort_unstable_by_key(|&(x, _)| x);
         }
+        let neighbor_ids: Vec<NodeId> = pairs.iter().map(|&(x, _)| x).collect();
+        let neighbor_edges: Vec<EdgeId> = pairs.iter().map(|&(_, e)| e).collect();
+
+        // Reverse ports in O(n + m): one pass over the CSR slots records
+        // where each edge landed (first in its smaller endpoint's row —
+        // rows are laid out in ascending node id and endpoints are stored
+        // `u < v`), then one pass over edges links the two slots.
+        let mut slot_at_u = vec![u32::MAX; m];
+        let mut slot_at_v = vec![u32::MAX; m];
+        for (i, e) in neighbor_edges.iter().enumerate() {
+            let slot = &mut slot_at_u[e.index()];
+            let slot = if *slot == u32::MAX {
+                slot
+            } else {
+                &mut slot_at_v[e.index()]
+            };
+            *slot = i as u32;
+        }
+        let mut reverse_ports = vec![0u32; 2 * m];
+        for (i, &(u, v)) in self.edges.iter().enumerate() {
+            reverse_ports[slot_at_u[i] as usize] = slot_at_v[i] - row_offsets[v.index()];
+            reverse_ports[slot_at_v[i] as usize] = slot_at_u[i] - row_offsets[u.index()];
+        }
+
+        let port_edge_weights: Vec<u64> = neighbor_edges
+            .iter()
+            .map(|e| self.edge_weights[e.index()])
+            .collect();
+
         Graph {
-            adj,
+            row_offsets,
+            neighbor_ids,
+            neighbor_edges,
+            reverse_ports,
+            port_edge_weights,
             edges: self.edges,
             node_weights: self.node_weights,
             edge_weights: self.edge_weights,
@@ -174,7 +227,7 @@ mod tests {
         b.add_edge(NodeId(0), NodeId(1));
         b.add_edge(NodeId(0), NodeId(2));
         let g = b.build();
-        let nbrs: Vec<_> = g.neighbors(NodeId(0)).iter().map(|&(v, _)| v).collect();
+        let nbrs: Vec<_> = g.neighbor_ids(NodeId(0)).to_vec();
         assert_eq!(nbrs, vec![NodeId(1), NodeId(2), NodeId(3)]);
     }
 

@@ -243,6 +243,136 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
     b.build()
 }
 
+/// Watts–Strogatz small-world graph: a ring lattice where every node is
+/// joined to its `k / 2` nearest neighbors on each side, with each lattice
+/// edge rewired to a uniformly random non-adjacent target with probability
+/// `beta`.
+///
+/// `beta = 0` reproduces the lattice exactly; `beta = 1` approaches
+/// `G(n, p)` while keeping the minimum degree of `k / 2`. The simple-graph
+/// invariant is maintained throughout — a rewire never creates a
+/// self-loop or duplicate edge — and the edge count is *always* exactly
+/// `n·k/2`: following the classic formulation, the full lattice is built
+/// first and each rewire replaces its lattice edge in place, so a node
+/// that is already adjacent to everyone simply keeps its lattice edge.
+///
+/// # Panics
+/// Panics if `k` is odd, `k >= n` (for `k > 0`), or `beta` is outside
+/// `[0, 1]`.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+    assert!(k.is_multiple_of(2), "k must be even");
+    assert!(k == 0 || k < n, "k must be < n for a simple ring lattice");
+    assert!((0.0..=1.0).contains(&beta), "beta must lie in [0, 1]");
+    let mut b = GraphBuilder::with_nodes(n);
+    if n == 0 || k == 0 {
+        return b.build();
+    }
+    // Mutable edge set (the builder is append-only): start from the full
+    // ring lattice, then visit each lattice edge once and rewire in place.
+    let mut adj: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); n];
+    for v in 0..n as u32 {
+        for j in 1..=(k / 2) as u32 {
+            let u = (v + j) % n as u32;
+            adj[v as usize].insert(u);
+            adj[u as usize].insert(v);
+        }
+    }
+    for v in 0..n as u32 {
+        for j in 1..=(k / 2) as u32 {
+            let u = (v + j) % n as u32;
+            // Keep the lattice edge when the coin says so, or when `v` is
+            // saturated (adjacent to every other node) and no rewire
+            // target can exist.
+            if !rng.random_bool(beta) || adj[v as usize].len() >= n - 1 {
+                continue;
+            }
+            // A non-adjacent target exists; rejection-sample for it, with
+            // an explicit scan as a bounded-time fallback so a single
+            // unlucky streak cannot drop the edge.
+            let t = 'draw: {
+                for _ in 0..100 {
+                    let t = rng.random_range(0..n as u32);
+                    if t != v && !adj[v as usize].contains(&t) {
+                        break 'draw t;
+                    }
+                }
+                let candidates: Vec<u32> = (0..n as u32)
+                    .filter(|&t| t != v && !adj[v as usize].contains(&t))
+                    .collect();
+                candidates[rng.random_range(0..candidates.len())]
+            };
+            adj[v as usize].remove(&u);
+            adj[u as usize].remove(&v);
+            adj[v as usize].insert(t);
+            adj[t as usize].insert(v);
+        }
+    }
+    for v in 0..n as u32 {
+        for &u in &adj[v as usize] {
+            if v < u {
+                b.add_edge(NodeId(v), NodeId(u));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Holme–Kim power-law cluster graph: Barabási–Albert growth (starting
+/// from a clique on `m + 1` nodes, each new node attaching to `m` distinct
+/// targets) where after every preferential attachment the next target is,
+/// with probability `p`, a *triad step* — a random neighbor of the
+/// previous target — producing the high clustering of real scale-free
+/// networks on top of the power-law degree distribution.
+///
+/// `p = 0` reduces to [`barabasi_albert`]; edge count is identical:
+/// `C(m+1, 2) + (n - m - 1)·m`.
+///
+/// # Panics
+/// Panics if `m == 0`, `n <= m`, or `p` is outside `[0, 1]`.
+pub fn power_law_cluster<R: Rng + ?Sized>(n: usize, m: usize, p: f64, rng: &mut R) -> Graph {
+    assert!(m >= 1, "attachment count m must be positive");
+    assert!(n > m, "n must exceed m");
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+    let mut b = GraphBuilder::with_nodes(n);
+    // Adjacency mirror for triad steps and the repeated-endpoints pool for
+    // degree-proportional sampling.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut endpoint_pool: Vec<u32> = Vec::new();
+    let link =
+        |b: &mut GraphBuilder, adj: &mut Vec<Vec<u32>>, pool: &mut Vec<u32>, u: u32, v: u32| {
+            b.add_edge(NodeId(u), NodeId(v));
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+            pool.push(u);
+            pool.push(v);
+        };
+    for u in 0..=m as u32 {
+        for v in (u + 1)..=m as u32 {
+            link(&mut b, &mut adj, &mut endpoint_pool, u, v);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut targets: Vec<u32> = Vec::with_capacity(m);
+        while targets.len() < m {
+            let triad = !targets.is_empty() && rng.random_bool(p);
+            let candidate = if triad {
+                // Close a triangle: a random neighbor of the last target.
+                let nbrs = &adj[*targets.last().expect("non-empty") as usize];
+                nbrs[rng.random_range(0..nbrs.len())]
+            } else {
+                endpoint_pool[rng.random_range(0..endpoint_pool.len())]
+            };
+            if candidate != v as u32 && !targets.contains(&candidate) {
+                targets.push(candidate);
+            }
+        }
+        for &t in &targets {
+            link(&mut b, &mut adj, &mut endpoint_pool, v as u32, t);
+        }
+    }
+    b.build()
+}
+
 /// Draws every node weight uniformly from `[1, max_weight]`.
 pub fn randomize_node_weights<R: Rng + ?Sized>(g: &mut Graph, max_weight: u64, rng: &mut R) {
     assert!(max_weight >= 1, "max_weight must be at least 1");
@@ -349,7 +479,7 @@ mod tests {
                 let mut queue = vec![NodeId(0)];
                 seen[0] = true;
                 while let Some(v) = queue.pop() {
-                    for &(u, _) in g.neighbors(v) {
+                    for &u in g.neighbor_ids(v) {
                         if !seen[u.index()] {
                             seen[u.index()] = true;
                             queue.push(u);
@@ -357,6 +487,116 @@ mod tests {
                     }
                 }
                 assert!(seen.iter().all(|&s| s), "tree on {n} nodes not connected");
+            }
+        }
+    }
+
+    /// Simple-graph + CSR invariants: strictly sorted rows (no duplicate
+    /// neighbors), no self-loops, symmetric adjacency.
+    fn assert_simple(g: &Graph) {
+        for v in g.nodes() {
+            let ids = g.neighbor_ids(v);
+            assert!(
+                ids.windows(2).all(|w| w[0] < w[1]),
+                "row {v} unsorted or duplicated"
+            );
+            assert!(ids.iter().all(|&u| u != v), "self-loop at {v}");
+            for &u in ids {
+                assert!(
+                    g.neighbor_ids(u).binary_search(&v).is_ok(),
+                    "edge {v}-{u} not symmetric"
+                );
+            }
+        }
+        assert_eq!(
+            g.nodes().map(|v| g.degree(v)).sum::<usize>(),
+            2 * g.num_edges()
+        );
+    }
+
+    #[test]
+    fn watts_strogatz_lattice_and_extremes() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        // beta = 0: the exact ring lattice.
+        let g = watts_strogatz(12, 4, 0.0, &mut rng);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 12 * 4 / 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_simple(&g);
+        // beta = 1: fully rewired, still simple, minimum degree k/2.
+        let h = watts_strogatz(30, 6, 1.0, &mut rng);
+        assert_eq!(h.num_edges(), 30 * 6 / 2);
+        assert!(h.nodes().all(|v| h.degree(v) >= 3));
+        assert_simple(&h);
+        // Degenerate sizes.
+        assert_eq!(watts_strogatz(5, 0, 0.5, &mut rng).num_edges(), 0);
+        assert_eq!(watts_strogatz(0, 0, 0.0, &mut rng).num_nodes(), 0);
+        // Saturation stress: k as dense as a simple graph allows and full
+        // rewiring; nodes regularly reach degree n-1 mid-construction, and
+        // the in-place rewire must still preserve the exact edge count.
+        for seed in 0..200 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = watts_strogatz(8, 6, 1.0, &mut rng);
+            assert_eq!(g.num_edges(), 8 * 6 / 2, "seed {seed}");
+            assert_simple(&g);
+        }
+    }
+
+    #[test]
+    fn power_law_cluster_counts_match_ba() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for &(n, m, p) in &[(50usize, 3usize, 0.0), (50, 3, 0.7), (40, 1, 1.0)] {
+            let g = power_law_cluster(n, m, p, &mut rng);
+            assert_eq!(g.num_nodes(), n);
+            assert_eq!(g.num_edges(), m * (m + 1) / 2 + (n - m - 1) * m);
+            assert!(g.nodes().all(|v| g.degree(v) >= m));
+            assert!(g.is_connected(), "growth from a clique is connected");
+            assert_simple(&g);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn watts_strogatz_is_simple_with_exact_counts(
+                n in 10usize..60,
+                half_k in 1usize..4,
+                beta_pct in 0u8..=100,
+                seed in 0u64..1 << 32,
+            ) {
+                let k = 2 * half_k;
+                prop_assume!(k < n);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let g = watts_strogatz(n, k, f64::from(beta_pct) / 100.0, &mut rng);
+                prop_assert_eq!(g.num_nodes(), n);
+                // Rewiring replaces edges in place, so the lattice count
+                // survives for every (n, k, beta) — including saturated
+                // corners like small n with k close to n.
+                prop_assert_eq!(g.num_edges(), n * k / 2);
+                assert_simple(&g);
+            }
+
+            #[test]
+            fn power_law_cluster_is_simple_with_exact_counts(
+                n in 5usize..60,
+                m in 1usize..4,
+                p_pct in 0u8..=100,
+                seed in 0u64..1 << 32,
+            ) {
+                prop_assume!(n > m);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let g = power_law_cluster(n, m, f64::from(p_pct) / 100.0, &mut rng);
+                prop_assert_eq!(g.num_nodes(), n);
+                prop_assert_eq!(g.num_edges(), m * (m + 1) / 2 + (n - m - 1) * m);
+                prop_assert!(g.is_connected());
+                assert_simple(&g);
             }
         }
     }

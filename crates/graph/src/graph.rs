@@ -54,19 +54,45 @@ impl From<u32> for EdgeId {
     }
 }
 
-/// An immutable, simple, undirected graph with `u64` node and edge weights.
+/// An immutable, simple, undirected graph with `u64` node and edge weights,
+/// stored in compressed-sparse-row (CSR) form.
 ///
 /// Construct through [`GraphBuilder`](crate::GraphBuilder) or one of the
-/// [`generators`](crate::generators). Adjacency lists are sorted by neighbor
-/// id, enabling `O(log Δ)` adjacency queries.
+/// [`generators`](crate::generators). Adjacency is held in flat
+/// structure-of-arrays CSR blocks — [`row_offsets`](Self::row_offsets)
+/// delimits, for each node, a contiguous sorted run inside
+/// [`neighbor_ids`](Self::neighbor_ids) / [`neighbor_edges`](Self::neighbor_edges)
+/// — so a whole run of neighbors is one cache-friendly slice and the graph
+/// is a handful of allocations regardless of `n`. Rows stay sorted by
+/// neighbor id, keeping `O(log Δ)` adjacency queries.
+///
+/// Two derived CSR-aligned tables are precomputed in `O(n + m)` at
+/// construction and kept in sync by the weight setters:
+///
+/// * [`reverse_ports`](Self::reverse_ports) — for the slot of `v`'s row
+///   holding neighbor `u`, the position (*port*) of `v` inside `u`'s row.
+///   Message-passing simulators use this to deliver into port-indexed
+///   inboxes without scanning the receiver's adjacency.
+/// * [`port_edge_weights`](Self::port_edge_weights) — the weight of the
+///   incident edge at each slot, so per-node weight views need no
+///   indirection through edge ids.
 ///
 /// Weights default to `1`. Node weights drive the maximum-weight independent
 /// set algorithms; edge weights drive the maximum-weight matching
 /// algorithms.
 #[derive(Clone, Debug)]
 pub struct Graph {
-    /// `adj[v]` = sorted list of `(neighbor, connecting edge)`.
-    pub(crate) adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// Row `v` of the CSR arrays is `row_offsets[v] .. row_offsets[v+1]`.
+    pub(crate) row_offsets: Vec<u32>,
+    /// Flat neighbor ids, sorted within each row.
+    pub(crate) neighbor_ids: Vec<NodeId>,
+    /// Flat connecting-edge ids, aligned with `neighbor_ids`.
+    pub(crate) neighbor_edges: Vec<EdgeId>,
+    /// `reverse_ports[i]` for slot `i` in `v`'s row holding neighbor `u` =
+    /// the port of `v` inside `u`'s row.
+    pub(crate) reverse_ports: Vec<u32>,
+    /// `port_edge_weights[i]` = weight of the edge at CSR slot `i`.
+    pub(crate) port_edge_weights: Vec<u64>,
     /// `edges[e]` = endpoints `(u, v)` with `u < v`.
     pub(crate) edges: Vec<(NodeId, NodeId)>,
     pub(crate) node_weights: Vec<u64>,
@@ -77,7 +103,7 @@ impl Graph {
     /// Number of nodes `n`.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.node_weights.len()
     }
 
     /// Number of edges `m`.
@@ -88,12 +114,18 @@ impl Graph {
 
     /// Iterator over all node ids `0..n`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len() as u32).map(NodeId)
+        (0..self.num_nodes() as u32).map(NodeId)
     }
 
     /// Iterator over all edge ids `0..m`.
     pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
         (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Index range of node `v`'s row in the flat CSR arrays.
+    #[inline]
+    fn row(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.row_offsets[v.index()] as usize..self.row_offsets[v.index() + 1] as usize
     }
 
     /// Degree of node `v`.
@@ -102,13 +134,62 @@ impl Graph {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.index()].len()
+        self.row(v).len()
     }
 
     /// Sorted neighbors of `v` as `(neighbor, connecting edge)` pairs.
+    ///
+    /// Port `p` of `v` is the `p`-th element of this iterator; see
+    /// [`neighbor_ids`](Self::neighbor_ids) /
+    /// [`neighbor_edges`](Self::neighbor_edges) for the underlying slices
+    /// when only one of the two columns is needed.
     #[inline]
-    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        &self.adj[v.index()]
+    pub fn neighbors(
+        &self,
+        v: NodeId,
+    ) -> impl ExactSizeIterator<Item = (NodeId, EdgeId)> + DoubleEndedIterator + '_ {
+        let row = self.row(v);
+        self.neighbor_ids[row.clone()]
+            .iter()
+            .copied()
+            .zip(self.neighbor_edges[row].iter().copied())
+    }
+
+    /// Sorted neighbor ids of `v`, indexed by port.
+    #[inline]
+    pub fn neighbor_ids(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbor_ids[self.row(v)]
+    }
+
+    /// Connecting-edge ids of `v`, indexed by port (aligned with
+    /// [`neighbor_ids`](Self::neighbor_ids)).
+    #[inline]
+    pub fn neighbor_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.neighbor_edges[self.row(v)]
+    }
+
+    /// For each port `p` of `v`, the port of `v` inside
+    /// `neighbor_ids(v)[p]`'s own row — i.e. the port through which the
+    /// neighbor sends *back* to `v`. Precomputed in `O(n + m)` at
+    /// construction.
+    #[inline]
+    pub fn reverse_ports(&self, v: NodeId) -> &[u32] {
+        &self.reverse_ports[self.row(v)]
+    }
+
+    /// Weight of the incident edge at each port of `v` (aligned with
+    /// [`neighbor_ids`](Self::neighbor_ids)). Kept in sync by
+    /// [`set_edge_weight`](Self::set_edge_weight).
+    #[inline]
+    pub fn port_edge_weights(&self, v: NodeId) -> &[u64] {
+        &self.port_edge_weights[self.row(v)]
+    }
+
+    /// CSR row-offset table (`n + 1` entries); row `v` of the flat arrays
+    /// is `row_offsets()[v] .. row_offsets()[v + 1]`.
+    #[inline]
+    pub fn row_offsets(&self) -> &[u32] {
+        &self.row_offsets
     }
 
     /// Endpoints `(u, v)` of edge `e`, with `u < v`.
@@ -141,10 +222,10 @@ impl Graph {
 
     /// Returns the edge connecting `u` and `v`, if any (`O(log Δ)`).
     pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        let row = &self.adj[u.index()];
-        row.binary_search_by_key(&v, |&(w, _)| w)
+        let ids = self.neighbor_ids(u);
+        ids.binary_search(&v)
             .ok()
-            .map(|i| row[i].1)
+            .map(|i| self.neighbor_edges(u)[i])
     }
 
     /// Whether `u` and `v` are adjacent.
@@ -182,14 +263,28 @@ impl Graph {
         self.node_weights[v.index()] = w;
     }
 
-    /// Sets the weight of edge `e`.
+    /// Sets the weight of edge `e`, updating the CSR-aligned
+    /// [`port_edge_weights`](Self::port_edge_weights) view of both
+    /// endpoints (`O(log Δ)`).
     pub fn set_edge_weight(&mut self, e: EdgeId, w: u64) {
         self.edge_weights[e.index()] = w;
+        let (u, v) = self.endpoints(e);
+        for (at, other) in [(u, v), (v, u)] {
+            let row = self.row(at);
+            let port = self.neighbor_ids[row.clone()]
+                .binary_search(&other)
+                .expect("edge endpoints appear in each other's rows");
+            self.port_edge_weights[row.start + port] = w;
+        }
     }
 
     /// Maximum node degree `Δ` (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.row_offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum node weight `W` (0 if there are no nodes).
@@ -228,10 +323,10 @@ impl Graph {
         // simple graph two distinct edges share at most one endpoint, so no
         // pair is generated twice from different shared endpoints.
         for v in self.nodes() {
-            let inc = &self.adj[v.index()];
+            let inc = self.neighbor_edges(v);
             for i in 0..inc.len() {
                 for j in (i + 1)..inc.len() {
-                    let (e1, e2) = (inc[i].1, inc[j].1);
+                    let (e1, e2) = (inc[i], inc[j]);
                     builder.add_edge(NodeId(e1.0), NodeId(e2.0));
                 }
             }
@@ -400,5 +495,115 @@ mod tests {
     fn display_formats() {
         assert_eq!(NodeId(3).to_string(), "v3");
         assert_eq!(EdgeId(7).to_string(), "e7");
+    }
+
+    /// The CSR invariants every constructed graph must satisfy: rows sorted
+    /// by neighbor id, columns aligned (`neighbor_edges[p]` connects `v` to
+    /// `neighbor_ids[p]`), and per-port weights matching the edge table.
+    fn assert_csr_invariants(g: &Graph) {
+        assert_eq!(g.row_offsets().len(), g.num_nodes() + 1);
+        assert_eq!(*g.row_offsets().last().unwrap() as usize, 2 * g.num_edges());
+        for v in g.nodes() {
+            let ids = g.neighbor_ids(v);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "row {v} not sorted");
+            assert_eq!(ids.len(), g.degree(v));
+            for (p, (u, e)) in g.neighbors(v).enumerate() {
+                assert_eq!(ids[p], u);
+                assert_eq!(g.neighbor_edges(v)[p], e);
+                assert_eq!(g.other_endpoint(e, v), u);
+                assert_eq!(g.port_edge_weights(v)[p], g.edge_weight(e));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_invariants_hold_across_shapes() {
+        use crate::generators;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut shapes = vec![
+            GraphBuilder::new().build(),
+            GraphBuilder::with_nodes(5).build(),
+            triangle(),
+            generators::star(17),
+            generators::grid(4, 6),
+            generators::gnp(80, 0.2, &mut rng),
+        ];
+        generators::randomize_edge_weights(shapes.last_mut().unwrap(), 64, &mut rng);
+        for g in &shapes {
+            assert_csr_invariants(g);
+        }
+    }
+
+    /// Regression for the reverse-port table now built in `O(n + m)`:
+    /// on `complete(512)` (the worst case for the old `O(Σ deg²)`
+    /// construction) every entry must agree with the `position()`-scan the
+    /// engine used to perform per edge endpoint.
+    #[test]
+    fn reverse_ports_match_position_scan_on_complete_512() {
+        let g = crate::generators::complete(512);
+        for v in g.nodes() {
+            let rp = g.reverse_ports(v);
+            assert_eq!(rp.len(), g.degree(v));
+            for (p, &u) in g.neighbor_ids(v).iter().enumerate() {
+                let back = g
+                    .neighbor_ids(u)
+                    .iter()
+                    .position(|&w| w == v)
+                    .expect("adjacency is symmetric");
+                assert_eq!(rp[p] as usize, back, "reverse port of {v} via port {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_ports_are_involutive_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(7);
+        for g in [
+            crate::generators::gnp(200, 0.05, &mut rng),
+            crate::generators::random_tree(150, &mut rng),
+            crate::generators::barabasi_albert(120, 4, &mut rng),
+        ] {
+            for v in g.nodes() {
+                for (p, &u) in g.neighbor_ids(v).iter().enumerate() {
+                    let back = g.reverse_ports(v)[p] as usize;
+                    // The neighbor's port `back` leads to `v`, and its own
+                    // reverse port leads back to `p`.
+                    assert_eq!(g.neighbor_ids(u)[back], v);
+                    assert_eq!(g.reverse_ports(u)[back] as usize, p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_edge_weight_keeps_port_view_in_sync() {
+        let mut g = triangle();
+        let e = g.find_edge(NodeId(0), NodeId(2)).unwrap();
+        g.set_edge_weight(e, 99);
+        let p0 = g
+            .neighbor_ids(NodeId(0))
+            .iter()
+            .position(|&u| u.0 == 2)
+            .unwrap();
+        let p2 = g
+            .neighbor_ids(NodeId(2))
+            .iter()
+            .position(|&u| u.0 == 0)
+            .unwrap();
+        assert_eq!(g.port_edge_weights(NodeId(0))[p0], 99);
+        assert_eq!(g.port_edge_weights(NodeId(2))[p2], 99);
+        // The untouched edges keep their default weight in the port view.
+        let e01 = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(g.edge_weight(e01), 1);
+        let p01 = g
+            .neighbor_ids(NodeId(0))
+            .iter()
+            .position(|&u| u.0 == 1)
+            .unwrap();
+        assert_eq!(g.port_edge_weights(NodeId(0))[p01], 1);
     }
 }

@@ -105,7 +105,7 @@ impl IndependentSet {
     pub fn is_maximal(&self, g: &Graph) -> bool {
         self.is_independent(g)
             && g.nodes()
-                .all(|v| self.contains(v) || g.neighbors(v).iter().any(|&(u, _)| self.contains(u)))
+                .all(|v| self.contains(v) || g.neighbor_ids(v).iter().any(|&u| self.contains(u)))
     }
 
     /// Membership bitmap indexed by node id.

@@ -25,7 +25,7 @@ impl Bipartition {
             queue.push_back(start);
             while let Some(v) = queue.pop_front() {
                 let cv = color[v.index()].expect("queued nodes are colored");
-                for &(u, _) in g.neighbors(v) {
+                for &u in g.neighbor_ids(v) {
                     match color[u.index()] {
                         None => {
                             color[u.index()] = Some(!cv);
@@ -101,7 +101,7 @@ impl Graph {
         seen[0] = true;
         let mut count = 1;
         while let Some(v) = stack.pop() {
-            for &(u, _) in self.neighbors(v) {
+            for &u in self.neighbor_ids(v) {
                 if !seen[u.index()] {
                     seen[u.index()] = true;
                     count += 1;
@@ -127,7 +127,7 @@ impl Graph {
             comp[start.index()] = id;
             let mut stack = vec![start];
             while let Some(v) = stack.pop() {
-                for &(u, _) in self.neighbors(v) {
+                for &u in self.neighbor_ids(v) {
                     if comp[u.index()] == usize::MAX {
                         comp[u.index()] = id;
                         members.push(u);

@@ -38,7 +38,7 @@ pub fn greedy_mis(g: &Graph, order: &[NodeId]) -> IndependentSet {
         }
         set.insert(v);
         blocked[v.index()] = true;
-        for &(u, _) in g.neighbors(v) {
+        for &u in g.neighbor_ids(v) {
             blocked[u.index()] = true;
         }
     }

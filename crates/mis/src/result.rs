@@ -60,9 +60,9 @@ pub fn verify_nearly_maximal(g: &Graph, results: &[MisResult]) -> Result<Indepen
         if *r == MisResult::Dominated {
             let v = NodeId(i as u32);
             let covered = g
-                .neighbors(v)
+                .neighbor_ids(v)
                 .iter()
-                .any(|&(u, _)| results[u.index()].is_in_set());
+                .any(|&u| results[u.index()].is_in_set());
             if !covered {
                 return Err(format!(
                     "node {v} claims domination but has no in-set neighbor"

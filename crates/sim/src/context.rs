@@ -9,7 +9,7 @@ use crate::{Message, NodeInfo, Port};
 /// round number, and the send operations. The engine enforces the CONGEST
 /// discipline of *at most one message per port per round*.
 pub struct Context<'a, M: Message> {
-    pub(crate) info: &'a NodeInfo,
+    pub(crate) info: &'a NodeInfo<'a>,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) round: usize,
     pub(crate) outbox: &'a mut [Option<M>],
@@ -22,9 +22,10 @@ impl<'a, M: Message> Context<'a, M> {
         self.info.id
     }
 
-    /// This node's static information.
+    /// This node's static information (a zero-copy view into the graph's
+    /// CSR block — see the [`NodeInfo`] borrow contract).
     #[inline]
-    pub fn info(&self) -> &NodeInfo {
+    pub fn info(&self) -> &NodeInfo<'a> {
         self.info
     }
 
@@ -102,12 +103,12 @@ mod tests {
     use super::*;
     use crate::rng::node_rng;
 
-    fn info() -> NodeInfo {
+    fn info() -> NodeInfo<'static> {
         NodeInfo {
             id: NodeId(3),
             weight: 9,
-            neighbor_ids: vec![NodeId(1), NodeId(7)],
-            edge_weights: vec![4, 5],
+            neighbor_ids: &[NodeId(1), NodeId(7)],
+            edge_weights: &[4, 5],
             n: 10,
             max_degree: 3,
             max_node_weight: 9,

@@ -149,12 +149,13 @@ impl<O> RunOutcome<O> {
 /// parallel) followed by a *delivery phase* (halts applied, outboxes
 /// moved into inboxes, in ascending node order), which is what makes the
 /// round semantics independent of node processing order.
-struct NodeSlot<P: Protocol> {
+struct NodeSlot<'g, P: Protocol> {
     proto: P,
-    info: NodeInfo,
+    info: NodeInfo<'g>,
     /// `reverse_port[p]` = the port at `neighbor(p)` that leads back to
     /// this node; used to deliver into the receiver's port-indexed inbox.
-    reverse_port: Vec<Port>,
+    /// Borrowed straight from the graph's precomputed CSR table.
+    reverse_port: &'g [u32],
     rng: SmallRng,
     inbox: Vec<(Port, P::Msg)>,
     outbox: Vec<Option<P::Msg>>,
@@ -188,20 +189,23 @@ struct NodeSlot<P: Protocol> {
 pub struct Engine<'g, P: Protocol> {
     graph: &'g Graph,
     config: SimConfig,
-    infos: Vec<NodeInfo>,
-    /// `reverse_port[v][p]` = the port at `neighbor(v, p)` that leads back
-    /// to `v`.
-    reverse_port: Vec<Vec<Port>>,
+    infos: Vec<NodeInfo<'g>>,
     nodes: Vec<P>,
 }
 
 impl<'g, P: Protocol> Engine<'g, P> {
     /// Creates an engine, instantiating the protocol at every node via
     /// `factory` (called in ascending node-id order).
+    ///
+    /// Zero-copy: each [`NodeInfo`] borrows its per-port slices straight
+    /// out of the graph's CSR block, and the reverse-port table was already
+    /// computed by the graph in `O(n + m)`, so building the engine
+    /// allocates `O(n)` — independent of the number of edges — and
+    /// parallel rounds share one read-only adjacency image.
     pub fn build(
         graph: &'g Graph,
         config: SimConfig,
-        mut factory: impl FnMut(&NodeInfo) -> P,
+        mut factory: impl FnMut(&NodeInfo<'g>) -> P,
     ) -> Self {
         let n = graph.num_nodes();
         let max_degree = graph.max_degree();
@@ -209,42 +213,22 @@ impl<'g, P: Protocol> Engine<'g, P> {
         let max_edge_weight = graph.max_edge_weight();
         let mut infos = Vec::with_capacity(n);
         for v in graph.nodes() {
-            let neighbor_ids: Vec<NodeId> = graph.neighbors(v).iter().map(|&(u, _)| u).collect();
-            let edge_weights: Vec<u64> = graph
-                .neighbors(v)
-                .iter()
-                .map(|&(_, e)| graph.edge_weight(e))
-                .collect();
             infos.push(NodeInfo {
                 id: v,
                 weight: graph.node_weight(v),
-                neighbor_ids,
-                edge_weights,
+                neighbor_ids: graph.neighbor_ids(v),
+                edge_weights: graph.port_edge_weights(v),
                 n,
                 max_degree,
                 max_node_weight,
                 max_edge_weight,
             });
         }
-        let mut reverse_port = Vec::with_capacity(n);
-        for v in graph.nodes() {
-            let mut row = Vec::with_capacity(graph.degree(v));
-            for &(u, _) in graph.neighbors(v) {
-                let back = graph
-                    .neighbors(u)
-                    .iter()
-                    .position(|&(w, _)| w == v)
-                    .expect("adjacency is symmetric");
-                row.push(back);
-            }
-            reverse_port.push(row);
-        }
         let nodes = infos.iter().map(&mut factory).collect();
         Engine {
             graph,
             config,
             infos,
-            reverse_port,
             nodes,
         }
     }
@@ -289,20 +273,20 @@ impl<'g, P: Protocol> Engine<'g, P> {
     fn run_with(
         self,
         seed: u64,
-        compute: impl Fn(&mut [NodeSlot<P>], usize),
+        compute: impl Fn(&mut [NodeSlot<'g, P>], usize),
     ) -> RunOutcome<P::Output> {
         let n = self.graph.num_nodes();
+        let graph = self.graph;
         let config = self.config;
-        let mut slots: Vec<NodeSlot<P>> = self
+        let mut slots: Vec<NodeSlot<'g, P>> = self
             .nodes
             .into_iter()
             .zip(self.infos)
-            .zip(self.reverse_port)
-            .map(|((proto, info), reverse_port)| NodeSlot {
+            .map(|(proto, info)| NodeSlot {
                 rng: node_rng(seed, info.id),
                 proto,
+                reverse_port: graph.reverse_ports(info.id),
                 info,
-                reverse_port,
                 inbox: Vec::new(),
                 outbox: Vec::new(),
                 pending_halt: None,
@@ -352,7 +336,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// Compute phase for one node: sort the inbox by port, run `init`
     /// (round 0) or `round`, and stash any halt decision in
     /// [`NodeSlot::pending_halt`]. Touches nothing outside the slot.
-    fn step(slot: &mut NodeSlot<P>, round: usize) {
+    fn step(slot: &mut NodeSlot<'g, P>, round: usize) {
         if !slot.active {
             return;
         }
@@ -389,7 +373,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// processing order.
     fn deliver(
         config: &SimConfig,
-        slots: &mut [NodeSlot<P>],
+        slots: &mut [NodeSlot<'g, P>],
         outputs: &mut [Option<P::Output>],
         active_count: &mut usize,
         stats: &mut RunStats,
@@ -427,7 +411,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
                     });
                 }
                 if slots[to].active {
-                    let back = slots[v].reverse_port[port];
+                    let back = slots[v].reverse_port[port] as Port;
                     slots[to].inbox.push((back, msg));
                 } else {
                     stats.dropped_messages += 1;
@@ -460,10 +444,10 @@ impl<'g, P: Protocol> Engine<'g, P> {
 /// let outcome = run_protocol(&g, SimConfig::local(), |_| Degree, 1);
 /// assert_eq!(outcome.outputs[0], Some(4));
 /// ```
-pub fn run_protocol<P: Protocol>(
-    graph: &Graph,
+pub fn run_protocol<'g, P: Protocol>(
+    graph: &'g Graph,
     config: SimConfig,
-    factory: impl FnMut(&NodeInfo) -> P,
+    factory: impl FnMut(&NodeInfo<'g>) -> P,
     seed: u64,
 ) -> RunOutcome<P::Output> {
     Engine::build(graph, config, factory).run(seed)
@@ -555,6 +539,38 @@ mod tests {
         assert_eq!(outcome.stats.total_messages, 12);
         assert_eq!(outcome.stats.budget_violations, 0);
         assert!(outcome.stats.max_message_bits >= 1);
+    }
+
+    /// Broadcasts the sender id, then asserts every message arrived on the
+    /// port whose neighbor is that sender — i.e. the delivery path resolved
+    /// reverse ports exactly as the old per-edge `position()` scan did.
+    struct PortEcho;
+    impl Protocol for PortEcho {
+        type Msg = u32;
+        type Output = ();
+        fn init(&mut self, ctx: &mut Context<'_, u32>) {
+            let id = ctx.id().0;
+            ctx.broadcast(id);
+        }
+        fn round(&mut self, ctx: &mut Context<'_, u32>, inbox: &[(Port, u32)]) -> Status<()> {
+            assert_eq!(inbox.len(), ctx.degree());
+            for &(port, id) in inbox {
+                assert_eq!(ctx.neighbor(port), NodeId(id));
+            }
+            Status::Halt(())
+        }
+    }
+
+    /// Regression for the reverse-port table: `complete(512)` was the
+    /// worst case of the old `O(Σ deg²)` construction in `Engine::build`;
+    /// the engine now borrows the graph's `O(n + m)` table and must route
+    /// every one of the 512·511 messages to the same port as before.
+    #[test]
+    fn delivery_ports_match_position_scan_on_complete_512() {
+        let g = generators::complete(512);
+        let outcome = run_protocol(&g, SimConfig::local(), |_| PortEcho, 0);
+        assert!(outcome.completed);
+        assert_eq!(outcome.stats.total_messages, 512 * 511);
     }
 
     /// A protocol that never halts, to exercise the round cap.
@@ -653,6 +669,34 @@ mod tests {
         assert_eq!(leaf.stats.dropped_messages, 1);
     }
 
+    /// The CONGEST budget is `8·(id_bits + weight_bits)`; both summands
+    /// are ceil-log terms, so the budget must never shrink as the graph
+    /// grows in `n` or its weights grow toward `W`.
+    #[test]
+    fn congest_budget_is_monotone_in_n_and_w() {
+        let mut prev = 0;
+        for n in [1usize, 2, 3, 16, 17, 100, 1_000, 10_000] {
+            let g = generators::path(n);
+            let budget = SimConfig::congest_for(&g).bit_budget.unwrap();
+            assert!(budget >= prev, "budget shrank going to n = {n}");
+            prev = budget;
+        }
+        let mut prev = 0;
+        for w in [1u64, 2, 3, 255, 256, 1 << 20, 1 << 40, u64::MAX] {
+            let mut g = generators::path(50);
+            g.set_node_weight(NodeId(0), w);
+            let budget = SimConfig::congest_for(&g).bit_budget.unwrap();
+            assert!(budget >= prev, "budget shrank going to W = {w}");
+            prev = budget;
+        }
+        // Edge weights feed the same W term as node weights.
+        let mut g = generators::path(50);
+        let small = SimConfig::congest_for(&g).bit_budget.unwrap();
+        g.set_edge_weight(congest_graph::EdgeId(0), u64::MAX);
+        let large = SimConfig::congest_for(&g).bit_budget.unwrap();
+        assert!(large > small);
+    }
+
     #[test]
     fn determinism_across_runs() {
         struct Roll;
@@ -718,18 +762,53 @@ mod tests {
         }
     }
 
+    /// FNV-1a over every output, statistic, and trace of a run — a compact
+    /// fingerprint of the engine's externally observable behavior.
+    fn outcome_hash(out: &RunOutcome<u64>) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for o in &out.outputs {
+            mix(o.unwrap());
+        }
+        mix(out.stats.rounds as u64);
+        mix(out.stats.total_messages);
+        mix(out.stats.max_message_bits as u64);
+        mix(out.stats.budget_violations);
+        mix(out.stats.dropped_messages);
+        for t in &out.traces {
+            mix(t.round as u64);
+            mix(t.from.0 as u64);
+            mix(t.to.0 as u64);
+            mix(t.bits as u64);
+        }
+        h
+    }
+
     #[test]
     fn run_parallel_is_bit_identical_to_run_on_gnp_1000() {
         let mut rng = SmallRng::seed_from_u64(2024);
         let g = generators::gnp(1000, 0.008, &mut rng);
         let config = SimConfig::congest_for(&g).with_traces();
-        for seed in [1u64, 77] {
+        // Fingerprints recorded on the pre-CSR engine (PR 2's
+        // `Vec<Vec<…>>` adjacency with per-`NodeInfo` clones): the layout
+        // refactor must not change a single output, statistic, or trace.
+        let recorded = [(1u64, 0x8a05ed62888b4b60u64), (77, 0x8c6e3fc93615c0c9)];
+        for (seed, expected) in recorded {
             let seq = Engine::build(&g, config.clone(), |_| gossip()).run(seed);
             let par = Engine::build(&g, config.clone(), |_| gossip()).run_parallel(seed);
             assert!(seq.completed && par.completed);
             assert_eq!(seq.outputs, par.outputs);
             assert_eq!(seq.stats, par.stats);
             assert_eq!(seq.traces, par.traces);
+            assert_eq!(
+                outcome_hash(&seq),
+                expected,
+                "seed {seed}: outputs/stats/traces diverged from the \
+                 pre-refactor engine"
+            );
             // The staggered deadlines make some messages arrive at halted
             // nodes, so the run exercises the drop path it certifies.
             assert!(seq.stats.dropped_messages > 0);

@@ -21,7 +21,10 @@
 //!
 //! Nodes address each other through *ports* (indices into their adjacency
 //! list); they know their own id, weight, degree, per-port edge weights and
-//! neighbor ids, plus the standard global parameters `n` and `Δ`.
+//! neighbor ids, plus the standard global parameters `n` and `Δ`. That
+//! static knowledge is handed out as [`NodeInfo`], a zero-copy `Copy`
+//! struct of slices borrowed from the graph's flat CSR adjacency — see
+//! its docs for the borrow contract.
 //!
 //! # Example: flood a token from node 0
 //!

@@ -116,6 +116,53 @@ mod tests {
         assert_eq!(bits_for_count(5), 3);
     }
 
+    /// Boundary cases: the degenerate inputs 0 and 1 (both clamp to one
+    /// bit) and exact powers of two, where off-by-one errors in the
+    /// `count - 1` / `leading_zeros` arithmetic would show first.
+    #[test]
+    fn value_bits_boundaries() {
+        assert_eq!(bits_for_value(0), 1);
+        assert_eq!(bits_for_value(1), 1);
+        for k in 1..63u32 {
+            let pow = 1u64 << k;
+            // 2^k needs k+1 bits; 2^k − 1 needs k bits.
+            assert_eq!(bits_for_value(pow), k as usize + 1, "value 2^{k}");
+            assert_eq!(bits_for_value(pow - 1), k as usize, "value 2^{k} - 1");
+        }
+        assert_eq!(bits_for_value(u64::MAX), 64);
+    }
+
+    #[test]
+    fn count_bits_boundaries() {
+        // Degenerate domains still need one bit to index.
+        assert_eq!(bits_for_count(0), 1);
+        assert_eq!(bits_for_count(1), 1);
+        assert_eq!(bits_for_count(2), 1);
+        for k in 1..32u32 {
+            let pow = 1usize << k;
+            // A domain of exactly 2^k values needs k bits; one more value
+            // tips it to k+1.
+            assert_eq!(bits_for_count(pow), k as usize, "count 2^{k}");
+            assert_eq!(bits_for_count(pow + 1), k as usize + 1, "count 2^{k} + 1");
+        }
+    }
+
+    #[test]
+    fn bits_are_monotone() {
+        let mut prev = 0;
+        for x in 0..4096u64 {
+            let b = bits_for_value(x);
+            assert!(b >= prev);
+            prev = b;
+        }
+        let mut prev = 0;
+        for c in 0..4096usize {
+            let b = bits_for_count(c);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
     #[test]
     fn composite_sizes() {
         assert_eq!(().bit_size(), 0);

@@ -19,16 +19,29 @@ pub type Port = usize;
 /// ids and the weights of its incident edges (exchanged in one round), and
 /// the global parameters `n`, `Δ` and `W` that the paper's algorithms
 /// assume are common knowledge.
-#[derive(Clone, Debug)]
-pub struct NodeInfo {
+///
+/// # Zero-copy contract
+///
+/// The per-port slices are *borrowed views* into the graph's flat CSR
+/// adjacency block (see [`congest_graph::Graph`]) — building a `NodeInfo`
+/// copies two fat pointers, never the adjacency itself, which is what lets
+/// [`Engine::build`](crate::Engine::build) allocate `O(n)` for a run and
+/// lets parallel rounds share one read-only adjacency image. The borrow
+/// lives as long as the graph borrow `'g` the engine was built from: a
+/// protocol may freely hold onto `neighbor_ids` / `edge_weights` (or a
+/// whole copied `NodeInfo`, which is `Copy`) across rounds, but must copy
+/// anything it wants to own beyond the run. The graph is immutable for the
+/// whole run, so the views never dangle or change mid-run.
+#[derive(Copy, Clone, Debug)]
+pub struct NodeInfo<'g> {
     /// This node's globally unique id.
     pub id: NodeId,
     /// This node's weight.
     pub weight: u64,
-    /// Neighbor id reachable through each port.
-    pub neighbor_ids: Vec<NodeId>,
+    /// Neighbor id reachable through each port (sorted ascending).
+    pub neighbor_ids: &'g [NodeId],
     /// Weight of the incident edge at each port.
-    pub edge_weights: Vec<u64>,
+    pub edge_weights: &'g [u64],
     /// Total number of nodes `n`.
     pub n: usize,
     /// Maximum degree `Δ` of the graph.
@@ -39,7 +52,7 @@ pub struct NodeInfo {
     pub max_edge_weight: u64,
 }
 
-impl NodeInfo {
+impl NodeInfo<'_> {
     /// Degree of this node.
     #[inline]
     pub fn degree(&self) -> usize {

@@ -12,7 +12,20 @@
 //! needed.
 
 use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// When set (via `cargo bench -- --test`, mirroring real criterion's
+/// smoke-test flag), every benchmark body runs exactly once, unmeasured —
+/// CI uses this to prove the benches still compile and execute without
+/// paying for calibration and sampling.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables smoke-test mode; called by [`criterion_main!`]
+/// after scanning `std::env::args()` for `--test`.
+pub fn set_test_mode(enabled: bool) {
+    TEST_MODE.store(enabled, Ordering::Relaxed);
+}
 
 /// Target wall-clock time for one measured sample batch.
 const TARGET_SAMPLE: Duration = Duration::from_millis(20);
@@ -129,7 +142,23 @@ impl Bencher {
 }
 
 /// Calibrates the batch size, collects samples, prints a summary line.
+/// In smoke-test mode the body runs once and nothing is measured.
 fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    run_one_mode(label, sample_size, TEST_MODE.load(Ordering::Relaxed), f);
+}
+
+/// [`run_one`] with the smoke-test decision passed explicitly, so tests
+/// can exercise both paths without racing on the process-global flag.
+fn run_one_mode(label: &str, sample_size: usize, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("Testing {label} ... ok");
+        return;
+    }
     // Calibration: grow the batch until it costs ~TARGET_SAMPLE.
     let mut iters = 1u64;
     loop {
@@ -209,6 +238,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::set_test_mode(std::env::args().any(|a| a == "--test"));
             $( $group(); )+
         }
     };
@@ -231,6 +261,13 @@ mod tests {
         });
         group.finish();
         assert!(count > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_body_exactly_once() {
+        let mut count = 0u64;
+        run_one_mode("smoke", 10, true, &mut |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
     }
 
     #[test]
