@@ -1,15 +1,25 @@
 //! Machine-readable engine performance baseline.
 //!
-//! Times the three phases of the canonical gnp-1000 Luby-MIS workload —
-//! `Engine::build`, `Engine::run`, and `Engine::run_parallel` — and writes
-//! the medians to `BENCH_engine.json` (first CLI argument overrides the
-//! path). The JSON is checked into the repository so successive PRs leave
-//! a perf trajectory; CI and reviewers diff it rather than re-deriving
-//! numbers from criterion logs.
+//! Times the three phases of the canonical gnp Luby-MIS workload —
+//! `Engine::build`, `Engine::run`, and `Engine::run_parallel` — at
+//! n ∈ {1 000, 10 000, 100 000} (average degree 8 throughout) and
+//! *appends* one record per size to `BENCH_engine.json`, a JSON array
+//! checked into the repository so successive PRs leave a perf trajectory;
+//! CI and reviewers diff it rather than re-deriving numbers from criterion
+//! logs. A pre-existing single-object file (the PR 3 schema) is wrapped
+//! in place as the array's first entry, so the trajectory keeps its
+//! oldest point.
 //!
 //! ```text
-//! cargo run --release -p congest-bench --bin bench_baseline
+//! cargo run --release -p congest-bench --bin bench_baseline [-- PATH] [--samples N]
 //! ```
+//!
+//! `--samples N` overrides the per-phase sample count (default 21; CI uses
+//! a tiny count to keep the job cheap — the medians it records are noisy
+//! but the schema is identical). Each record carries the `threads` the
+//! host offered, because `run_parallel` medians are only meaningful
+//! relative to it: on a single-threaded host the parallel executor takes
+//! its documented inline fallback and matches `run` instead of beating it.
 
 use congest_graph::generators;
 use congest_mis::LubyMis;
@@ -19,8 +29,12 @@ use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Timed samples per phase; the median is robust to scheduler noise.
-const SAMPLES: usize = 21;
+/// Default timed samples per phase; the median is robust to scheduler
+/// noise.
+const DEFAULT_SAMPLES: usize = 21;
+
+/// Graph sizes of the baseline matrix (average degree 8 at every size).
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
 
 /// Median of a sample set in nanoseconds.
 fn median_ns(mut xs: Vec<u128>) -> u128 {
@@ -28,53 +42,122 @@ fn median_ns(mut xs: Vec<u128>) -> u128 {
     xs[xs.len() / 2]
 }
 
-/// Collects SAMPLES timings from `f` (which returns the ns of just the
+/// Collects `samples` timings from `f` (which returns the ns of just the
 /// phase it measures, so setup like `Engine::build` stays outside the
 /// timed window) and returns the median.
-fn measure(mut f: impl FnMut() -> u128) -> u128 {
+fn measure(samples: usize, mut f: impl FnMut() -> u128) -> u128 {
     // One warm-up pass so first-touch page faults don't land in sample 0.
     f();
-    let samples = (0..SAMPLES).map(|_| f()).collect();
+    let samples = (0..samples).map(|_| f()).collect();
     median_ns(samples)
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
-
-    let n = 1_000usize;
+/// One benchmark record for graph size `n`.
+fn record_for(n: usize, samples: usize) -> String {
+    let p = 8.0 / n as f64;
     let mut rng = SmallRng::seed_from_u64(n as u64);
-    let g = generators::gnp(n, 8.0 / n as f64, &mut rng);
+    let g = generators::gnp(n, p, &mut rng);
     let config = SimConfig::congest_for(&g);
 
-    let build_ns = measure(|| {
+    let build_ns = measure(samples, || {
         let start = Instant::now();
         black_box(Engine::build(&g, config.clone(), |_| LubyMis::new()));
         start.elapsed().as_nanos()
     });
-    let mut seed = 0u64;
-    let run_ns = measure(|| {
-        seed += 1;
+    // `run` and `run_parallel` samples are interleaved (same seed per
+    // pair) so slow drift — thermal state, page cache, a noisy neighbor
+    // on shared hardware — biases both executors equally instead of
+    // whichever phase happens to be measured second.
+    let mut run_samples = Vec::with_capacity(samples);
+    let mut run_parallel_samples = Vec::with_capacity(samples);
+    for seed in 0..=samples as u64 {
         let engine = Engine::build(&g, config.clone(), |_| LubyMis::new());
         let start = Instant::now();
         black_box(engine.run(seed));
-        start.elapsed().as_nanos()
-    });
-    seed = 0;
-    let run_parallel_ns = measure(|| {
-        seed += 1;
+        let seq_ns = start.elapsed().as_nanos();
         let engine = Engine::build(&g, config.clone(), |_| LubyMis::new());
         let start = Instant::now();
         black_box(engine.run_parallel(seed));
-        start.elapsed().as_nanos()
-    });
+        let par_ns = start.elapsed().as_nanos();
+        // Seed 0 is the warm-up pair.
+        if seed > 0 {
+            run_samples.push(seq_ns);
+            run_parallel_samples.push(par_ns);
+        }
+    }
+    let run_ns = median_ns(run_samples);
+    let run_parallel_ns = median_ns(run_parallel_samples);
 
-    let json = format!(
-        "{{\n  \"bench\": \"engine_gnp_luby\",\n  \"graph\": {{ \"family\": \"gnp\", \"n\": {n}, \"p\": {p}, \"seed\": {n}, \"edges\": {m} }},\n  \"protocol\": \"LubyMis\",\n  \"samples\": {SAMPLES},\n  \"median_ns\": {{\n    \"build\": {build_ns},\n    \"run\": {run_ns},\n    \"run_parallel\": {run_parallel_ns}\n  }}\n}}\n",
-        p = 8.0 / n as f64,
+    format!(
+        "  {{\n    \"bench\": \"engine_gnp_luby\",\n    \"graph\": {{ \"family\": \"gnp\", \"n\": {n}, \"p\": {p}, \"seed\": {n}, \"edges\": {m} }},\n    \"protocol\": \"LubyMis\",\n    \"samples\": {samples},\n    \"threads\": {threads},\n    \"median_ns\": {{\n      \"build\": {build_ns},\n      \"run\": {run_ns},\n      \"run_parallel\": {run_parallel_ns}\n    }}\n  }}",
         m = g.num_edges(),
-    );
+        threads = rayon::current_num_threads(),
+    )
+}
+
+/// Appends `records` to the JSON array at `path`, creating the array if
+/// the file is missing/empty and wrapping a legacy single-object file
+/// (the pre-multi-size schema) as its first entry.
+fn append_records(path: &str, records: &[String]) -> String {
+    let new_block = records.join(",\n");
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = existing.trim();
+    if trimmed.is_empty() {
+        return format!("[\n{new_block}\n]\n");
+    }
+    if let Some(body) = trimmed
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .map(str::trim)
+    {
+        if body.is_empty() {
+            format!("[\n{new_block}\n]\n")
+        } else {
+            format!("[\n{body},\n{new_block}\n]\n")
+        }
+    } else if trimmed.starts_with('{') && trimmed.ends_with('}') {
+        // Legacy single-object schema: keep it as the first trajectory
+        // point.
+        format!("[\n{trimmed},\n{new_block}\n]\n")
+    } else {
+        // Neither an array nor an object: a truncated or corrupt file.
+        // Refuse to wrap garbage — failing here beats a confusing parse
+        // error at the consumer.
+        panic!(
+            "{path} holds neither a JSON array nor an object \
+             (truncated write?); fix or delete it before appending"
+        );
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_engine.json".to_string();
+    let mut samples = DEFAULT_SAMPLES;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--samples" {
+            let v = args.next().expect("--samples needs a value");
+            samples = v.parse().expect("--samples value must be an integer");
+            assert!(samples > 0, "--samples must be positive");
+        } else if let Some(v) = arg.strip_prefix("--samples=") {
+            samples = v.parse().expect("--samples value must be an integer");
+            assert!(samples > 0, "--samples must be positive");
+        } else if arg.starts_with('-') {
+            // Don't let a flag typo silently become the output path.
+            panic!("unknown flag {arg}; usage: bench_baseline [PATH] [--samples N]");
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let records: Vec<String> = SIZES
+        .iter()
+        .map(|&n| {
+            eprintln!("measuring n = {n} ({samples} samples/phase)...");
+            record_for(n, samples)
+        })
+        .collect();
+    let json = append_records(&out_path, &records);
     std::fs::write(&out_path, &json).expect("write baseline json");
     println!("wrote {out_path}:\n{json}");
 }

@@ -10,7 +10,7 @@
 //! Iterating reaches `O(Δ² log²(Δ))`-ish many colors after `O(log* n)`
 //! rounds, the classic bound.
 
-use congest_sim::{bits_for_value, Context, Message, Port, Protocol, Status};
+use congest_sim::{bits_for_value, Context, Inbox, Message, Protocol, Status};
 
 use crate::primes::next_prime;
 
@@ -171,13 +171,13 @@ impl Protocol for LinialColoring {
     fn round(
         &mut self,
         ctx: &mut Context<'_, ColorMsg>,
-        inbox: &[(Port, ColorMsg)],
+        inbox: Inbox<'_, ColorMsg>,
     ) -> Status<usize> {
         if self.schedule.is_empty() {
             return Status::Halt(self.color as usize);
         }
         let step = self.schedule[self.step];
-        let neighbor_colors: Vec<u64> = inbox.iter().map(|(_, ColorMsg(c))| *c).collect();
+        let neighbor_colors: Vec<u64> = inbox.iter().map(|(_, msg)| msg.0).collect();
         self.color = self.apply_step(step, &neighbor_colors);
         self.step += 1;
         if self.step == self.schedule.len() {

@@ -3,7 +3,7 @@
 //! neighbor proposed the same color (ties broken by id) or already owns
 //! it. Terminates in `O(log n)` rounds w.h.p.
 
-use congest_sim::{bits_for_count, Context, Message, Port, Protocol, Status};
+use congest_sim::{bits_for_count, Context, Inbox, Message, Protocol, Status};
 use rand::Rng;
 
 /// Messages of [`RandomizedColoring`].
@@ -62,7 +62,7 @@ impl Protocol for RandomizedColoring {
     fn round(
         &mut self,
         ctx: &mut Context<'_, RandColorMsg>,
-        inbox: &[(Port, RandColorMsg)],
+        inbox: Inbox<'_, RandColorMsg>,
     ) -> Status<usize> {
         if ctx.round() % 2 == 1 {
             // Proposal phase: fold in Final claims, then propose.
@@ -82,7 +82,7 @@ impl Protocol for RandomizedColoring {
             for (port, msg) in inbox {
                 match msg {
                     RandColorMsg::Propose(c)
-                        if *c == self.proposal && ctx.neighbor(*port) > ctx.id() =>
+                        if *c == self.proposal && ctx.neighbor(port) > ctx.id() =>
                     {
                         keep = false;
                     }

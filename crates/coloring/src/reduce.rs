@@ -10,7 +10,7 @@
 //!   `O((Δ+1) · log(C/(Δ+1)))` rounds — the `O(Δ log Δ)` term of our
 //!   deterministic pipeline.
 
-use congest_sim::{bits_for_value, Context, Message, Port, Protocol, Status};
+use congest_sim::{bits_for_value, Context, Inbox, Message, Protocol, Status};
 
 /// Message: the sender's new color after a recoloring.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -85,14 +85,14 @@ impl Protocol for SimpleReduction {
     fn round(
         &mut self,
         ctx: &mut Context<'_, RecolorMsg>,
-        inbox: &[(Port, RecolorMsg)],
+        inbox: Inbox<'_, RecolorMsg>,
     ) -> Status<usize> {
         let palette = ctx.info().max_degree + 1;
         if self.num_colors <= palette {
             return Status::Halt(self.my_color);
         }
-        for (port, RecolorMsg(c)) in inbox {
-            self.neighbor_colors[*port] = *c as usize;
+        for (port, msg) in inbox {
+            self.neighbor_colors[port] = msg.0 as usize;
         }
         // Round r retires class `num_colors − r` (r = 1 retires C−1, …).
         let retiring = self.num_colors.checked_sub(ctx.round());
@@ -199,14 +199,14 @@ impl Protocol for KwReduction {
     fn round(
         &mut self,
         ctx: &mut Context<'_, RecolorMsg>,
-        inbox: &[(Port, RecolorMsg)],
+        inbox: Inbox<'_, RecolorMsg>,
     ) -> Status<usize> {
         if self.plan.is_empty() {
             return Status::Halt(self.my_color);
         }
         let palette = ctx.info().max_degree + 1;
-        for (port, RecolorMsg(c)) in inbox {
-            self.neighbor_colors[*port] = *c as usize;
+        for (port, msg) in inbox {
+            self.neighbor_colors[port] = msg.0 as usize;
         }
         let idx = ctx.round() - 1;
         let KwRound {

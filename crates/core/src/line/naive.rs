@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use congest_graph::{EdgeId, Graph, NodeId};
 use congest_sim::{
-    run_protocol, Context, MessageTrace, Port, Protocol, RunStats, SimConfig, Status,
+    run_protocol, Context, Inbox, MessageTrace, Protocol, RunStats, SimConfig, Status,
 };
 
 use super::aggregate::EdgeProtocol;
@@ -54,7 +54,7 @@ impl<P: EdgeProtocol> Protocol for LineNodeAdapter<P> {
     fn round(
         &mut self,
         ctx: &mut Context<'_, P::Agg>,
-        inbox: &[(Port, P::Agg)],
+        inbox: Inbox<'_, P::Agg>,
     ) -> Status<Option<P::Output>> {
         let round = ctx.round();
         let mut agg = P::identity();

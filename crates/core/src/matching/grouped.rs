@@ -30,7 +30,7 @@
 
 use congest_graph::{Graph, Matching, NodeId};
 use congest_sim::{
-    bits_for_value, run_protocol, Context, Message, Port, Protocol, SimConfig, Status,
+    bits_for_value, run_protocol, Context, Inbox, Message, Port, Protocol, SimConfig, Status,
 };
 use rand::Rng;
 
@@ -173,7 +173,7 @@ impl Protocol for GroupedLrMatching {
     fn round(
         &mut self,
         ctx: &mut Context<'_, GroupedMsg>,
-        inbox: &[(Port, GroupedMsg)],
+        inbox: Inbox<'_, GroupedMsg>,
     ) -> Status<Option<NodeId>> {
         match (ctx.round() - 1) % 4 {
             0 => {
@@ -182,10 +182,10 @@ impl Protocol for GroupedLrMatching {
                 for (port, msg) in inbox {
                     if let GroupedMsg::Resolve { side_clear, killed } = msg {
                         if *killed {
-                            self.slots[*port].killed = true;
+                            self.slots[port].killed = true;
                         }
                         if *side_clear {
-                            self.slots[*port].remote_clear = true;
+                            self.slots[port].remote_clear = true;
                         }
                     }
                 }
@@ -219,8 +219,8 @@ impl Protocol for GroupedLrMatching {
                         // Tiebreak: the primary's id — both endpoints
                         // derive the identical value (the primary is the
                         // smaller-id endpoint, i.e. the sender here).
-                        let tie = u64::from(ctx.neighbor(*port).0);
-                        self.slots[*port].tuple = (*layer, *prio, tie);
+                        let tie = u64::from(ctx.neighbor(port).0);
+                        self.slots[port].tuple = (*layer, *prio, tie);
                     }
                 }
                 // Primaries normalize their own tiebreak the same way so
@@ -243,7 +243,7 @@ impl Protocol for GroupedLrMatching {
                 // Phase 3 — decide wins, exchange reduction sums.
                 for (port, msg) in inbox {
                     if let GroupedMsg::ExcludeMax(remote) = msg {
-                        let p = *port;
+                        let p = port;
                         if self.slots[p].state != EdgeState::Remaining {
                             continue;
                         }
@@ -269,7 +269,7 @@ impl Protocol for GroupedLrMatching {
                 // run the resolve handshake for candidates.
                 for (port, msg) in inbox {
                     if let GroupedMsg::ReduceSum(remote_sum) = msg {
-                        let p = *port;
+                        let p = port;
                         if self.slots[p].state != EdgeState::Remaining {
                             continue;
                         }

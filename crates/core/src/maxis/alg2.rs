@@ -26,7 +26,7 @@
 
 use congest_graph::{Graph, IndependentSet, NodeId};
 use congest_sim::{
-    bits_for_value, run_protocol, Context, Message, Port, Protocol, SimConfig, Status,
+    bits_for_value, run_protocol, Context, Inbox, Message, Protocol, SimConfig, Status,
 };
 use rand::Rng;
 
@@ -141,7 +141,7 @@ impl Alg2Node {
     fn absorb(
         &mut self,
         ctx: &mut Context<'_, Alg2Msg>,
-        inbox: &[(Port, Alg2Msg)],
+        inbox: Inbox<'_, Alg2Msg>,
     ) -> Option<Status<bool>> {
         for (port, msg) in inbox {
             match msg {
@@ -151,12 +151,12 @@ impl Alg2Node {
                     if self.state == NodeState::Alive {
                         self.w -= *x as i64;
                     }
-                    self.gone[*port] = true;
+                    self.gone[port] = true;
                 }
                 Alg2Msg::Removed => {
-                    self.gone[*port] = true;
+                    self.gone[port] = true;
                 }
-                Alg2Msg::AddedToIs if !self.gone[*port] => {
+                Alg2Msg::AddedToIs if !self.gone[port] => {
                     // A logical neighbor joined the solution: I leave.
                     ctx.broadcast(Alg2Msg::Removed);
                     return Some(Status::Halt(false));
@@ -177,7 +177,7 @@ impl Protocol for Alg2Node {
         self.gone = vec![false; ctx.degree()];
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, Alg2Msg>, inbox: &[(Port, Alg2Msg)]) -> Status<bool> {
+    fn round(&mut self, ctx: &mut Context<'_, Alg2Msg>, inbox: Inbox<'_, Alg2Msg>) -> Status<bool> {
         if let Some(halt) = self.absorb(ctx, inbox) {
             return halt;
         }
@@ -238,7 +238,7 @@ impl Protocol for Alg2Node {
                         if l > layer {
                             eligible = false;
                         } else if l == layer
-                            && (prio, ctx.neighbor(*port)) > (self.my_prio, ctx.id())
+                            && (prio, ctx.neighbor(port)) > (self.my_prio, ctx.id())
                         {
                             beaten = true;
                         }

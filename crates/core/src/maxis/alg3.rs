@@ -14,7 +14,7 @@
 use congest_coloring::deterministic_delta_plus_one;
 use congest_graph::{Graph, IndependentSet, NodeId};
 use congest_sim::{
-    bits_for_count, bits_for_value, run_protocol, Context, Message, Port, Protocol, SimConfig,
+    bits_for_count, bits_for_value, run_protocol, Context, Inbox, Message, Protocol, SimConfig,
     Status,
 };
 
@@ -92,19 +92,19 @@ impl Protocol for Alg3Node {
         ctx.broadcast(Alg3Msg::Color(c));
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, Alg3Msg>, inbox: &[(Port, Alg3Msg)]) -> Status<bool> {
+    fn round(&mut self, ctx: &mut Context<'_, Alg3Msg>, inbox: Inbox<'_, Alg3Msg>) -> Status<bool> {
         for (port, msg) in inbox {
             match msg {
-                Alg3Msg::Color(c) => self.neighbor_color[*port] = *c,
+                Alg3Msg::Color(c) => self.neighbor_color[port] = *c,
                 Alg3Msg::Reduce(x) => {
                     if !self.candidate {
                         self.w -= *x as i64;
                     }
-                    self.gone[*port] = true;
+                    self.gone[port] = true;
                 }
-                Alg3Msg::Removed => self.gone[*port] = true,
+                Alg3Msg::Removed => self.gone[port] = true,
                 Alg3Msg::AddedToIs => {
-                    if !self.gone[*port] {
+                    if !self.gone[port] {
                         ctx.broadcast(Alg3Msg::Removed);
                         return Status::Halt(false);
                     }

@@ -14,7 +14,7 @@
 
 use congest_graph::{Bipartition, Graph, GraphBuilder, Matching, NodeId};
 use congest_sim::rng::phase_seed;
-use congest_sim::{run_protocol, Context, Message, Port, Protocol, SimConfig, Status};
+use congest_sim::{run_protocol, Context, Inbox, Message, Port, Protocol, SimConfig, Status};
 use rand::Rng;
 
 /// Messages of the proposal protocol.
@@ -57,7 +57,7 @@ impl Protocol for ProposalNode {
     fn round(
         &mut self,
         ctx: &mut Context<'_, ProposalMsg>,
-        inbox: &[(Port, ProposalMsg)],
+        inbox: Inbox<'_, ProposalMsg>,
     ) -> Status<Option<NodeId>> {
         let cycle = ctx.round().div_ceil(2);
         if ctx.round() % 2 == 1 {
@@ -65,8 +65,8 @@ impl Protocol for ProposalNode {
                 // Fold in last cycle's answers.
                 for (port, msg) in inbox {
                     match msg {
-                        ProposalMsg::Accept => return Status::Halt(Some(ctx.neighbor(*port))),
-                        ProposalMsg::Taken => self.remaining[*port] = false,
+                        ProposalMsg::Accept => return Status::Halt(Some(ctx.neighbor(port))),
+                        ProposalMsg::Taken => self.remaining[port] = false,
                         ProposalMsg::Propose => unreachable!("left nodes never receive proposals"),
                     }
                 }
@@ -90,8 +90,8 @@ impl Protocol for ProposalNode {
             // Right side: accept the highest-id proposer, reject others.
             let mut proposers: Vec<Port> = inbox
                 .iter()
-                .filter(|(_, m)| *m == ProposalMsg::Propose)
-                .map(|(p, _)| *p)
+                .filter(|&(_, m)| *m == ProposalMsg::Propose)
+                .map(|(p, _)| p)
                 .collect();
             if proposers.is_empty() {
                 return Status::Active;

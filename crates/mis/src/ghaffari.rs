@@ -20,7 +20,7 @@
 //! to the set with probability at least `1 − δ` — the
 //! `O(log Δ / log log Δ)` engine behind the fast matching algorithms.
 
-use congest_sim::{Context, Message, Port, Protocol, Status};
+use congest_sim::{Context, Inbox, Message, Protocol, Status};
 use rand::Rng;
 
 use crate::MisResult;
@@ -156,7 +156,7 @@ impl Protocol for NearlyMaximalIs {
     fn round(
         &mut self,
         ctx: &mut Context<'_, NmisMsg>,
-        inbox: &[(Port, NmisMsg)],
+        inbox: Inbox<'_, NmisMsg>,
     ) -> Status<MisResult> {
         match (ctx.round() - 1) % 4 {
             0 => {
@@ -164,7 +164,7 @@ impl Protocol for NearlyMaximalIs {
                 // then announce the current probability exponent.
                 for (port, msg) in inbox {
                     debug_assert_eq!(*msg, NmisMsg::Covered);
-                    self.active[*port] = false;
+                    self.active[port] = false;
                 }
                 if self.budget_exhausted() {
                     return Status::Halt(MisResult::Undecided);

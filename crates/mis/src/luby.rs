@@ -8,7 +8,7 @@
 //! paper plugs into its `O(MIS(G) · log W)` bound for the CONGEST model.
 
 use congest_graph::NodeId;
-use congest_sim::{bits_for_value, Context, Message, Port, Protocol, Status};
+use congest_sim::{bits_for_value, Context, Inbox, Message, Protocol, Status};
 use rand::Rng;
 
 use crate::MisResult;
@@ -76,7 +76,7 @@ impl Protocol for LubyMis {
     fn round(
         &mut self,
         ctx: &mut Context<'_, LubyMsg>,
-        inbox: &[(Port, LubyMsg)],
+        inbox: Inbox<'_, LubyMsg>,
     ) -> Status<MisResult> {
         match (ctx.round() - 1) % 3 {
             0 => {
@@ -85,7 +85,7 @@ impl Protocol for LubyMis {
                 // send a fresh priority.
                 for (port, msg) in inbox {
                     debug_assert_eq!(*msg, LubyMsg::Covered);
-                    self.active[*port] = false;
+                    self.active[port] = false;
                 }
                 if !self.has_active_neighbor() {
                     return Status::Halt(MisResult::InSet);
@@ -105,7 +105,7 @@ impl Protocol for LubyMis {
                     let LubyMsg::Priority(p) = msg else {
                         unreachable!("decide phase only carries priorities")
                     };
-                    let them: (u64, NodeId) = (*p, ctx.neighbor(*port));
+                    let them: (u64, NodeId) = (*p, ctx.neighbor(port));
                     if them > me {
                         won = false;
                     }

@@ -76,24 +76,38 @@ impl<'a, M: Message> Context<'a, M> {
         self.outbox[port] = Some(msg);
     }
 
-    /// Sends a clone of `msg` through every port (a CONGEST-legal
-    /// broadcast: each edge still carries exactly one message).
+    /// Sends `msg` through every port (a CONGEST-legal broadcast: each
+    /// edge still carries exactly one message). The final port receives
+    /// `msg` itself, so a degree-`d` broadcast clones `d − 1` times, not
+    /// `d`.
     ///
     /// # Panics
     /// Panics if any port already carries a message this round.
     pub fn broadcast(&mut self, msg: M) {
-        for port in 0..self.outbox.len() {
+        let ports = self.outbox.len();
+        if ports == 0 {
+            return;
+        }
+        for port in 0..ports - 1 {
             self.send(port, msg.clone());
         }
+        self.send(ports - 1, msg);
     }
 
-    /// Sends a clone of `msg` through every port for which `filter`
-    /// returns true.
+    /// Sends `msg` through every port for which `filter` returns true,
+    /// moving (not cloning) it into the last selected port. `filter` is
+    /// called once per port, in ascending port order.
     pub fn broadcast_filtered(&mut self, msg: M, mut filter: impl FnMut(Port) -> bool) {
+        let mut pending: Option<Port> = None;
         for port in 0..self.outbox.len() {
             if filter(port) {
-                self.send(port, msg.clone());
+                if let Some(prev) = pending.replace(port) {
+                    self.send(prev, msg.clone());
+                }
             }
+        }
+        if let Some(last) = pending {
+            self.send(last, msg);
         }
     }
 }

@@ -1,10 +1,12 @@
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
 use congest_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rayon::prelude::*;
 
 use crate::message::bits_for_count;
 use crate::rng::node_rng;
-use crate::{Context, Message, NodeInfo, Port, Protocol, Status};
+use crate::{Context, Inbox, Message, NodeInfo, Protocol, Status};
 
 /// Simulation configuration: model (bit budget) and safety limits.
 #[derive(Clone, Debug)]
@@ -17,7 +19,9 @@ pub struct SimConfig {
     /// produce `None` outputs and [`RunOutcome::completed`] is false.
     pub max_rounds: usize,
     /// Record every message as a [`MessageTrace`] (memory-hungry; meant
-    /// for congestion analyses on small graphs).
+    /// for congestion analyses on small graphs). Tracing forces the
+    /// delivery phase onto a sequential ascending-node-id path and disables
+    /// active-slot compaction so trace order is reproducible.
     pub record_traces: bool,
 }
 
@@ -109,14 +113,14 @@ impl<O> RunOutcome<O> {
     ///
     /// ```
     /// use congest_graph::generators;
-    /// use congest_sim::{run_protocol, Context, Protocol, SimConfig, Status};
+    /// use congest_sim::{run_protocol, Context, Inbox, Protocol, SimConfig, Status};
     ///
     /// struct MyId;
     /// impl Protocol for MyId {
     ///     type Msg = ();
     ///     type Output = u32;
     ///     fn init(&mut self, _ctx: &mut Context<'_, ()>) {}
-    ///     fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[(usize, ())])
+    ///     fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: Inbox<'_, ()>)
     ///         -> Status<u32>
     ///     {
     ///         Status::Halt(ctx.id().0)
@@ -142,50 +146,166 @@ impl<O> RunOutcome<O> {
 }
 
 /// Everything one node owns during a run: its protocol instance, static
-/// info, private RNG, and this round's message buffers.
+/// info, private RNG, and its halt latch. Message buffers live *outside*
+/// the slot, in the engine's two flat message planes; the slot only
+/// remembers where its CSR row starts.
 ///
 /// Bundling the per-node state lets a synchronous round be executed as a
 /// *compute phase* (each slot stepped independently — sequentially or in
-/// parallel) followed by a *delivery phase* (halts applied, outboxes
-/// moved into inboxes, in ascending node order), which is what makes the
-/// round semantics independent of node processing order.
+/// parallel) followed by a *delivery phase* (halts applied, send-plane rows
+/// scattered into the receive plane), which is what makes the round
+/// semantics independent of node processing order.
 struct NodeSlot<'g, P: Protocol> {
     proto: P,
     info: NodeInfo<'g>,
     /// `reverse_port[p]` = the port at `neighbor(p)` that leads back to
-    /// this node; used to deliver into the receiver's port-indexed inbox.
-    /// Borrowed straight from the graph's precomputed CSR table.
+    /// this node; used to deliver into the receiver's port-indexed inbox
+    /// row. Borrowed straight from the graph's precomputed CSR table.
     reverse_port: &'g [u32],
+    /// Start of this node's row in the CSR-shaped message planes
+    /// (`graph.row_offsets()[id]`); the row length is the node's degree.
+    row_start: u32,
     rng: SmallRng,
-    inbox: Vec<(Port, P::Msg)>,
-    outbox: Vec<Option<P::Msg>>,
     /// Output produced this round, if the node chose to halt; applied to
-    /// `active` only at the delivery phase so that drop decisions cannot
-    /// observe a half-updated round.
+    /// the alive set only at the delivery phase so that drop decisions
+    /// cannot observe a half-updated round.
     pending_halt: Option<P::Output>,
     active: bool,
 }
 
+/// Raw shared handle to one message plane: a flat `Option<M>` array of
+/// length `2m` shaped exactly like the graph's CSR block, so the cell for
+/// `(node v, port p)` is `row_offsets[v] + p`.
+///
+/// The handle deliberately erases Rust's aliasing information so disjoint
+/// CSR rows (compute phase) and disjoint directed-edge cells (delivery
+/// phase) can be written from multiple threads. Every `unsafe` access site
+/// states which disjointness argument makes it sound.
+struct PlanePtr<M> {
+    ptr: *mut Option<M>,
+    len: usize,
+}
+
+impl<M> Clone for PlanePtr<M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for PlanePtr<M> {}
+
+// SAFETY: a `PlanePtr` is only a capability to *derive* references; all
+// derivations happen under the row/cell disjointness contracts documented
+// on `row_mut` / `cell_mut`, and `M: Send` makes moving messages across the
+// worker threads sound. No `&M` is ever shared across threads through it.
+unsafe impl<M: Send> Send for PlanePtr<M> {}
+// SAFETY: as for `Send` above — sharing the handle only shares the
+// *capability*; actual access is serialized per row/cell by the engine's
+// disjointness contracts.
+unsafe impl<M: Send> Sync for PlanePtr<M> {}
+
+impl<M> PlanePtr<M> {
+    fn new(plane: &mut Vec<Option<M>>) -> Self {
+        PlanePtr {
+            ptr: plane.as_mut_ptr(),
+            len: plane.len(),
+        }
+    }
+
+    /// Mutable view of the row `start..start + len`.
+    ///
+    /// # Safety
+    /// The caller must guarantee that no other live reference (on this or
+    /// any other thread) overlaps the row. The engine upholds this by only
+    /// handing out rows keyed by node id — CSR rows of distinct nodes are
+    /// disjoint, and each node id occurs in exactly one `NodeSlot`.
+    // The `&self -> &mut` shape is the point of the type: exclusivity is
+    // a caller obligation (see Safety), exactly like `UnsafeCell::get`.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    unsafe fn row_mut(&self, start: usize, len: usize) -> &mut [Option<M>] {
+        debug_assert!(start + len <= self.len, "plane row out of bounds");
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+
+    /// Mutable view of a single cell.
+    ///
+    /// # Safety
+    /// As for [`row_mut`](Self::row_mut): the caller must guarantee the
+    /// cell is not aliased. The delivery phase upholds this by addressing
+    /// cells by *directed edge* (`row_offsets[to] + reverse_port`), and
+    /// each directed edge has exactly one sender.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    unsafe fn cell_mut(&self, idx: usize) -> &mut Option<M> {
+        debug_assert!(idx < self.len, "plane cell out of bounds");
+        &mut *self.ptr.add(idx)
+    }
+}
+
+/// The send and receive planes of a run, handed to the compute and
+/// delivery phases together.
+struct Planes<M> {
+    send: PlanePtr<M>,
+    recv: PlanePtr<M>,
+}
+
+/// Read-only context the delivery phase needs besides the slots.
+struct DeliverArgs<'a> {
+    /// `graph.row_offsets()` — maps a receiver id to its plane row.
+    row_offsets: &'a [u32],
+    /// Liveness per node id, with this round's halts already applied.
+    alive: &'a [bool],
+    /// [`SimConfig::bit_budget`].
+    bit_budget: Option<usize>,
+}
+
+/// Per-chunk statistics accumulator for the delivery phase; merged into
+/// [`RunStats`] with commutative operations (sums and max), so parallel
+/// chunk order cannot change the result.
+#[derive(Default)]
+struct Tally {
+    total_messages: u64,
+    max_message_bits: usize,
+    budget_violations: u64,
+    dropped_messages: u64,
+}
+
+/// Below this many active slots, `run_parallel` steps and delivers inline:
+/// spawning workers for a nearly-drained round costs more than the round.
+const PAR_SLOT_THRESHOLD: usize = 256;
+
 /// Runs one [`Protocol`] instance per node of a graph.
 ///
 /// Build with [`Engine::build`], execute with [`Engine::run`] (or
-/// [`Engine::run_parallel`], which produces bit-identical results using
-/// one worker per hardware thread). See the crate-level docs for an
-/// end-to-end example.
+/// [`Engine::run_parallel`], which produces bit-identical results). See the
+/// crate-level docs for an end-to-end example.
 ///
 /// # Round semantics
 ///
 /// Each synchronous round has two phases:
 ///
 /// 1. **Compute** — every active node's [`Protocol::round`] runs against
-///    the messages sent to it in the previous round, filling its outbox
-///    and possibly deciding to halt. Nodes cannot observe each other
+///    the messages sent to it in the previous round, filling its send-plane
+///    row and possibly deciding to halt. Nodes cannot observe each other
 ///    mid-round, so the execution order (including parallel execution)
 ///    cannot affect results.
-/// 2. **Deliver** — halts are applied, then every outbox is moved into
-///    the receivers' inboxes in ascending sender order. A message is
-///    dropped (counted in [`RunStats::dropped_messages`]) iff its
-///    receiver halted in the sending round or earlier.
+/// 2. **Deliver** — halts are applied, then every send-plane row is
+///    scattered into the receive plane: the message node `v` sent through
+///    port `p` lands in cell `row_offsets[u] + reverse_port`, i.e. the
+///    receiver `u`'s own port-indexed inbox row. A message is dropped
+///    (counted in [`RunStats::dropped_messages`]) iff its receiver halted
+///    in the sending round or earlier. Distinct directed edges map to
+///    distinct cells, so delivery parallelizes without locks while staying
+///    bit-identical.
+///
+/// # Memory discipline
+///
+/// Both message planes (2·`m` cells each), the slot table, and every other
+/// buffer of the round loop are allocated once, in `build`/`run`; the
+/// steady-state loop performs **zero engine-side heap allocations** (the
+/// traced path, which pushes [`MessageTrace`]s, is the documented
+/// small-graph exception). Halted nodes are swap-compacted out of the
+/// active prefix, so late rounds iterate only live slots.
 pub struct Engine<'g, P: Protocol> {
     graph: &'g Graph,
     config: SimConfig,
@@ -236,21 +356,49 @@ impl<'g, P: Protocol> Engine<'g, P> {
     /// Runs the protocol to completion (all nodes halted) or to the round
     /// cap, using `seed` to derive every node's private RNG.
     pub fn run(self, seed: u64) -> RunOutcome<P::Output> {
-        self.run_with(seed, |slots, round| {
-            for slot in slots.iter_mut() {
-                Self::step(slot, round);
-            }
-        })
+        self.run_with(
+            seed,
+            |slots, round, planes| Self::step_all(slots, round, planes),
+            |slots, planes, args| Self::deliver_all(slots, planes, args),
+        )
     }
 
-    /// Like [`run`](Engine::run), but executes each round's compute phase
-    /// on all hardware threads.
+    /// Sequential compute phase over `slots`; shared by [`run`](Self::run)
+    /// and `run_parallel`'s small-active-set inline fallback so the two
+    /// cannot diverge.
+    fn step_all(slots: &mut [NodeSlot<'g, P>], round: usize, planes: &Planes<P::Msg>) {
+        for slot in slots.iter_mut() {
+            Self::step(slot, round, planes);
+        }
+    }
+
+    /// Sequential delivery over `slots`; shared like
+    /// [`step_all`](Self::step_all).
+    fn deliver_all(
+        slots: &[NodeSlot<'g, P>],
+        planes: &Planes<P::Msg>,
+        args: &DeliverArgs<'_>,
+    ) -> Tally {
+        let mut tally = Tally::default();
+        for slot in slots.iter() {
+            Self::deliver_slot(slot, planes, args, &mut tally);
+        }
+        tally
+    }
+
+    /// Like [`run`](Engine::run), but executes each round's compute *and*
+    /// delivery phases on all hardware threads, chunking over the
+    /// compacted active slot prefix (halted nodes cost nothing).
     ///
     /// Outputs, statistics, and traces are bit-identical to the
     /// sequential path for the same `seed`: every node steps against its
-    /// own private [`SmallRng`] and per-round buffers (no cross-node
-    /// state), and message delivery stays sequential in ascending node
-    /// order.
+    /// own private [`SmallRng`] and disjoint plane rows (no cross-node
+    /// state), delivery writes each directed edge's unique cell, and the
+    /// statistics merge with commutative sums/max. Rounds whose active set
+    /// is smaller than a fixed threshold (or the whole run, on a
+    /// single-threaded host) execute inline, so the parallel executor
+    /// degrades to the sequential one instead of paying worker overhead it
+    /// cannot recoup.
     pub fn run_parallel(self, seed: u64) -> RunOutcome<P::Output>
     where
         P: Send,
@@ -258,26 +406,67 @@ impl<'g, P: Protocol> Engine<'g, P> {
         P::Output: Send,
     {
         let threads = rayon::current_num_threads().max(1);
-        self.run_with(seed, move |slots, round| {
-            let chunk = slots.len().div_ceil(threads).max(1);
-            slots.par_chunks_mut(chunk).for_each(|chunk| {
-                for slot in chunk.iter_mut() {
-                    Self::step(slot, round);
+        if threads == 1 {
+            // One hardware thread: the parallel executor cannot win, so
+            // take the sequential loop wholesale (identical code path,
+            // identical results, zero overhead).
+            return self.run(seed);
+        }
+        self.run_with(
+            seed,
+            move |slots, round, planes| {
+                if slots.len() < PAR_SLOT_THRESHOLD {
+                    Self::step_all(slots, round, planes);
+                    return;
                 }
-            });
-        })
+                let chunk = slots.len().div_ceil(threads).max(1);
+                slots.par_chunks_mut(chunk).for_each(|chunk| {
+                    Self::step_all(chunk, round, planes);
+                });
+            },
+            move |slots, planes, args| {
+                if slots.len() < PAR_SLOT_THRESHOLD {
+                    return Self::deliver_all(slots, planes, args);
+                }
+                let total_messages = AtomicU64::new(0);
+                let max_message_bits = AtomicUsize::new(0);
+                let budget_violations = AtomicU64::new(0);
+                let dropped_messages = AtomicU64::new(0);
+                let chunk = slots.len().div_ceil(threads).max(1);
+                slots.par_chunks_mut(chunk).for_each(|chunk| {
+                    let tally = Self::deliver_all(chunk, planes, args);
+                    // One commutative flush per chunk; sums and max cannot
+                    // observe merge order, so stats stay bit-identical to
+                    // the sequential path.
+                    total_messages.fetch_add(tally.total_messages, Ordering::Relaxed);
+                    max_message_bits.fetch_max(tally.max_message_bits, Ordering::Relaxed);
+                    budget_violations.fetch_add(tally.budget_violations, Ordering::Relaxed);
+                    dropped_messages.fetch_add(tally.dropped_messages, Ordering::Relaxed);
+                });
+                Tally {
+                    total_messages: total_messages.into_inner(),
+                    max_message_bits: max_message_bits.into_inner(),
+                    budget_violations: budget_violations.into_inner(),
+                    dropped_messages: dropped_messages.into_inner(),
+                }
+            },
+        )
     }
 
     /// Shared run loop; `compute` executes one round's compute phase over
-    /// all slots (round 0 is `init`).
+    /// the active slots (round 0 is `init`), `deliver` scatters their
+    /// send-plane rows (untraced runs only — tracing uses the sequential
+    /// ascending-id path so trace order is reproducible).
     fn run_with(
         self,
         seed: u64,
-        compute: impl Fn(&mut [NodeSlot<'g, P>], usize),
+        compute: impl Fn(&mut [NodeSlot<'g, P>], usize, &Planes<P::Msg>),
+        deliver: impl Fn(&mut [NodeSlot<'g, P>], &Planes<P::Msg>, &DeliverArgs<'_>) -> Tally,
     ) -> RunOutcome<P::Output> {
         let n = self.graph.num_nodes();
         let graph = self.graph;
         let config = self.config;
+        let row_offsets = graph.row_offsets();
         let mut slots: Vec<NodeSlot<'g, P>> = self
             .nodes
             .into_iter()
@@ -286,42 +475,69 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 rng: node_rng(seed, info.id),
                 proto,
                 reverse_port: graph.reverse_ports(info.id),
+                row_start: row_offsets[info.id.index()],
                 info,
-                inbox: Vec::new(),
-                outbox: Vec::new(),
                 pending_halt: None,
                 active: true,
             })
             .collect();
+        // The two message planes: every buffer of the round loop is
+        // allocated here, once; rounds only move messages through them.
+        let plane_len = row_offsets[n] as usize;
+        let mut send_plane: Vec<Option<P::Msg>> = Vec::new();
+        send_plane.resize_with(plane_len, || None);
+        let mut recv_plane: Vec<Option<P::Msg>> = Vec::new();
+        recv_plane.resize_with(plane_len, || None);
+        let planes = Planes {
+            send: PlanePtr::new(&mut send_plane),
+            recv: PlanePtr::new(&mut recv_plane),
+        };
         let mut outputs: Vec<Option<P::Output>> = vec![None; n];
+        let mut alive = vec![true; n];
         let mut active_count = n;
+        // Slots `0..active_len` are the (compacted) active prefix; tracing
+        // disables compaction so delivery can walk ascending node ids.
+        let compact = !config.record_traces;
+        let mut active_len = n;
         let mut stats = RunStats::default();
         let mut traces = Vec::new();
 
         // Round 0: init (no inboxes yet, halting is not possible).
-        compute(&mut slots, 0);
-        Self::deliver(
+        compute(&mut slots[..active_len], 0, &planes);
+        active_len = Self::delivery_phase(
             &config,
             &mut slots,
+            active_len,
+            compact,
+            &planes,
+            row_offsets,
+            &mut alive,
             &mut outputs,
             &mut active_count,
             &mut stats,
             &mut traces,
             0,
+            &deliver,
         );
 
         while active_count > 0 && stats.rounds < config.max_rounds {
             stats.rounds += 1;
             let round = stats.rounds;
-            compute(&mut slots, round);
-            Self::deliver(
+            compute(&mut slots[..active_len], round, &planes);
+            active_len = Self::delivery_phase(
                 &config,
                 &mut slots,
+                active_len,
+                compact,
+                &planes,
+                row_offsets,
+                &mut alive,
                 &mut outputs,
                 &mut active_count,
                 &mut stats,
                 &mut traces,
                 round,
+                &deliver,
             );
         }
 
@@ -333,22 +549,28 @@ impl<'g, P: Protocol> Engine<'g, P> {
         }
     }
 
-    /// Compute phase for one node: sort the inbox by port, run `init`
-    /// (round 0) or `round`, and stash any halt decision in
-    /// [`NodeSlot::pending_halt`]. Touches nothing outside the slot.
-    fn step(slot: &mut NodeSlot<'g, P>, round: usize) {
+    /// Compute phase for one node: run `init` (round 0) or `round` against
+    /// the node's receive-plane row, writing sends into its send-plane row,
+    /// and stash any halt decision in [`NodeSlot::pending_halt`]. The
+    /// receive row is cleared afterwards, ready for next round's delivery.
+    /// Touches nothing outside the slot and its two plane rows.
+    fn step(slot: &mut NodeSlot<'g, P>, round: usize, planes: &Planes<P::Msg>) {
         if !slot.active {
             return;
         }
-        slot.inbox.sort_unstable_by_key(|&(p, _)| p);
-        slot.outbox.clear();
-        slot.outbox.resize(slot.info.degree(), None);
+        let start = slot.row_start as usize;
+        let degree = slot.info.degree();
+        // SAFETY: each node id occurs in exactly one slot and CSR rows of
+        // distinct nodes are disjoint, so this is the only live reference
+        // to the row (the compute phase hands each slot to exactly one
+        // worker).
+        let send_row = unsafe { planes.send.row_mut(start, degree) };
+        // SAFETY: same row-disjointness argument, on the receive plane.
+        let recv_row = unsafe { planes.recv.row_mut(start, degree) };
         let NodeSlot {
             proto,
             info,
             rng,
-            inbox,
-            outbox,
             pending_halt,
             ..
         } = slot;
@@ -356,69 +578,168 @@ impl<'g, P: Protocol> Engine<'g, P> {
             info,
             rng,
             round,
-            outbox,
+            outbox: send_row,
         };
         if round == 0 {
             proto.init(&mut ctx);
-        } else if let Status::Halt(out) = proto.round(&mut ctx, inbox) {
+        } else if let Status::Halt(out) = proto.round(&mut ctx, Inbox::new(recv_row)) {
             *pending_halt = Some(out);
         }
-        slot.inbox.clear();
+        // Consume this round's inbox so next round's delivery starts from
+        // an empty row.
+        for cell in recv_row.iter_mut() {
+            *cell = None;
+        }
     }
 
-    /// Delivery phase: apply this round's halts, then move every outbox
-    /// into the receivers' inboxes (ascending sender order), updating
-    /// statistics. Runs after *all* nodes computed, so whether a message
-    /// is dropped depends only on the set of halted nodes — never on node
-    /// processing order.
-    fn deliver(
+    /// Delivery for one sender: drain its send-plane row, scattering each
+    /// message into the receiver's receive-plane cell (or counting a drop)
+    /// and accumulating statistics into `tally`. `on_message` runs once per
+    /// message before the drop decision — the trace hook; the untraced
+    /// paths pass a no-op closure that monomorphizes away.
+    #[inline]
+    fn deliver_slot_with(
+        slot: &NodeSlot<'g, P>,
+        planes: &Planes<P::Msg>,
+        args: &DeliverArgs<'_>,
+        tally: &mut Tally,
+        mut on_message: impl FnMut(NodeId, NodeId, usize),
+    ) {
+        let start = slot.row_start as usize;
+        let degree = slot.info.degree();
+        // SAFETY: row disjointness, as in `step` — each sender slot is
+        // drained by exactly one worker.
+        let send_row = unsafe { planes.send.row_mut(start, degree) };
+        for (port, cell) in send_row.iter_mut().enumerate() {
+            let Some(msg) = cell.take() else { continue };
+            let bits = msg.bit_size();
+            tally.total_messages += 1;
+            tally.max_message_bits = tally.max_message_bits.max(bits);
+            if let Some(budget) = args.bit_budget {
+                if bits > budget {
+                    tally.budget_violations += 1;
+                }
+            }
+            let to = slot.info.neighbor_ids[port];
+            on_message(slot.info.id, to, bits);
+            if args.alive[to.index()] {
+                let back = slot.reverse_port[port] as usize;
+                // SAFETY: `row_offsets[to] + back` addresses the cell of
+                // the directed edge (sender → to); reverse ports are a
+                // bijection on directed edges, so no other sender (on any
+                // thread) writes this cell, and nothing reads the receive
+                // plane during delivery.
+                unsafe {
+                    *planes
+                        .recv
+                        .cell_mut(args.row_offsets[to.index()] as usize + back) = Some(msg);
+                }
+            } else {
+                tally.dropped_messages += 1;
+            }
+        }
+    }
+
+    /// Untraced delivery for one sender (see
+    /// [`deliver_slot_with`](Self::deliver_slot_with)).
+    #[inline]
+    fn deliver_slot(
+        slot: &NodeSlot<'g, P>,
+        planes: &Planes<P::Msg>,
+        args: &DeliverArgs<'_>,
+        tally: &mut Tally,
+    ) {
+        Self::deliver_slot_with(slot, planes, args, tally, |_, _, _| {});
+    }
+
+    /// Delivery phase: apply this round's halts, scatter every send-plane
+    /// row into the receive plane (via `deliver`, or the sequential traced
+    /// path), then swap halted slots out of the active prefix. Runs after
+    /// *all* nodes computed, so whether a message is dropped depends only
+    /// on the set of halted nodes — never on node processing order.
+    /// Returns the new active prefix length.
+    #[allow(clippy::too_many_arguments)]
+    fn delivery_phase(
         config: &SimConfig,
         slots: &mut [NodeSlot<'g, P>],
+        active_len: usize,
+        compact: bool,
+        planes: &Planes<P::Msg>,
+        row_offsets: &'g [u32],
+        alive: &mut [bool],
         outputs: &mut [Option<P::Output>],
         active_count: &mut usize,
         stats: &mut RunStats,
         traces: &mut Vec<MessageTrace>,
         round: usize,
-    ) {
-        for (v, slot) in slots.iter_mut().enumerate() {
+        deliver: &impl Fn(&mut [NodeSlot<'g, P>], &Planes<P::Msg>, &DeliverArgs<'_>) -> Tally,
+    ) -> usize {
+        for slot in slots[..active_len].iter_mut() {
             if let Some(out) = slot.pending_halt.take() {
                 debug_assert!(slot.active, "inactive nodes are never stepped");
+                let v = slot.info.id.index();
                 outputs[v] = Some(out);
+                alive[v] = false;
                 slot.active = false;
                 *active_count -= 1;
             }
         }
-        for v in 0..slots.len() {
-            // Detach the outbox so the receiver slot can be borrowed.
-            let mut outbox = std::mem::take(&mut slots[v].outbox);
-            for (port, slot_msg) in outbox.iter_mut().enumerate() {
-                let Some(msg) = slot_msg.take() else { continue };
-                let bits = msg.bit_size();
-                stats.total_messages += 1;
-                stats.max_message_bits = stats.max_message_bits.max(bits);
-                if let Some(budget) = config.bit_budget {
-                    if bits > budget {
-                        stats.budget_violations += 1;
-                    }
-                }
-                let to = slots[v].info.neighbor_ids[port].index();
-                if config.record_traces {
-                    traces.push(MessageTrace {
-                        round,
-                        from: slots[v].info.id,
-                        to: slots[to].info.id,
-                        bits,
-                    });
-                }
-                if slots[to].active {
-                    let back = slots[v].reverse_port[port] as Port;
-                    slots[to].inbox.push((back, msg));
-                } else {
-                    stats.dropped_messages += 1;
-                }
+        let args = DeliverArgs {
+            row_offsets,
+            alive,
+            bit_budget: config.bit_budget,
+        };
+        let tally = if config.record_traces {
+            // Tracing pins delivery to ascending node-id order (compaction
+            // is off, so slot order is id order) and stays sequential —
+            // the documented small-graph path.
+            let mut tally = Tally::default();
+            for slot in slots.iter() {
+                Self::deliver_slot_traced(slot, planes, &args, &mut tally, traces, round);
             }
-            slots[v].outbox = outbox;
+            tally
+        } else {
+            deliver(&mut slots[..active_len], planes, &args)
+        };
+        stats.total_messages += tally.total_messages;
+        stats.max_message_bits = stats.max_message_bits.max(tally.max_message_bits);
+        stats.budget_violations += tally.budget_violations;
+        stats.dropped_messages += tally.dropped_messages;
+        if !compact {
+            return active_len;
         }
+        // Swap this round's halted slots out of the active prefix so
+        // future compute/delivery phases never revisit them.
+        let mut i = 0;
+        let mut len = active_len;
+        while i < len {
+            if slots[i].active {
+                i += 1;
+            } else {
+                len -= 1;
+                slots.swap(i, len);
+            }
+        }
+        len
+    }
+
+    /// [`deliver_slot`](Self::deliver_slot) plus trace recording.
+    fn deliver_slot_traced(
+        slot: &NodeSlot<'g, P>,
+        planes: &Planes<P::Msg>,
+        args: &DeliverArgs<'_>,
+        tally: &mut Tally,
+        traces: &mut Vec<MessageTrace>,
+        round: usize,
+    ) {
+        Self::deliver_slot_with(slot, planes, args, tally, |from, to, bits| {
+            traces.push(MessageTrace {
+                round,
+                from,
+                to,
+                bits,
+            });
+        });
     }
 }
 
@@ -426,14 +747,14 @@ impl<'g, P: Protocol> Engine<'g, P> {
 ///
 /// ```
 /// use congest_graph::generators;
-/// use congest_sim::{run_protocol, Context, Protocol, SimConfig, Status};
+/// use congest_sim::{run_protocol, Context, Inbox, Protocol, SimConfig, Status};
 ///
 /// struct Degree;
 /// impl Protocol for Degree {
 ///     type Msg = ();
 ///     type Output = usize;
 ///     fn init(&mut self, _ctx: &mut Context<'_, ()>) {}
-///     fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[(usize, ())])
+///     fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: Inbox<'_, ()>)
 ///         -> Status<usize>
 ///     {
 ///         Status::Halt(ctx.degree())
@@ -466,7 +787,7 @@ mod tests {
         type Msg = ();
         type Output = usize;
         fn init(&mut self, _ctx: &mut Context<'_, ()>) {}
-        fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[(Port, ())]) -> Status<usize> {
+        fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: Inbox<'_, ()>) -> Status<usize> {
             Status::Halt(ctx.degree())
         }
     }
@@ -486,10 +807,10 @@ mod tests {
         fn round(
             &mut self,
             _ctx: &mut Context<'_, u32>,
-            inbox: &[(Port, u32)],
+            inbox: Inbox<'_, u32>,
         ) -> Status<Vec<NodeId>> {
-            for &(_, id) in inbox {
-                self.heard.push(NodeId(id));
+            for (_, id) in inbox {
+                self.heard.push(NodeId(*id));
             }
             self.heard.sort_unstable();
             Status::Halt(self.heard.clone())
@@ -542,7 +863,7 @@ mod tests {
     }
 
     /// Broadcasts the sender id, then asserts every message arrived on the
-    /// port whose neighbor is that sender — i.e. the delivery path resolved
+    /// port whose neighbor is that sender — i.e. the plane scatter resolved
     /// reverse ports exactly as the old per-edge `position()` scan did.
     struct PortEcho;
     impl Protocol for PortEcho {
@@ -552,10 +873,17 @@ mod tests {
             let id = ctx.id().0;
             ctx.broadcast(id);
         }
-        fn round(&mut self, ctx: &mut Context<'_, u32>, inbox: &[(Port, u32)]) -> Status<()> {
+        fn round(&mut self, ctx: &mut Context<'_, u32>, inbox: Inbox<'_, u32>) -> Status<()> {
             assert_eq!(inbox.len(), ctx.degree());
-            for &(port, id) in inbox {
-                assert_eq!(ctx.neighbor(port), NodeId(id));
+            assert_eq!(inbox.num_ports(), ctx.degree());
+            let mut last_port = None;
+            for (port, id) in inbox {
+                assert_eq!(ctx.neighbor(port), NodeId(*id));
+                assert_eq!(inbox.get(port), Some(id));
+                // The CSR-backed inbox iterates in ascending port order by
+                // construction.
+                assert!(last_port.is_none_or(|p| p < port));
+                last_port = Some(port);
             }
             Status::Halt(())
         }
@@ -579,7 +907,7 @@ mod tests {
         type Msg = ();
         type Output = ();
         fn init(&mut self, _ctx: &mut Context<'_, ()>) {}
-        fn round(&mut self, _ctx: &mut Context<'_, ()>, _inbox: &[(Port, ())]) -> Status<()> {
+        fn round(&mut self, _ctx: &mut Context<'_, ()>, _inbox: Inbox<'_, ()>) -> Status<()> {
             Status::Active
         }
     }
@@ -621,7 +949,7 @@ mod tests {
         fn init(&mut self, ctx: &mut Context<'_, u32>) {
             ctx.broadcast(0);
         }
-        fn round(&mut self, ctx: &mut Context<'_, u32>, _inbox: &[(Port, u32)]) -> Status<()> {
+        fn round(&mut self, ctx: &mut Context<'_, u32>, _inbox: Inbox<'_, u32>) -> Status<()> {
             if ctx.id().0 == self.halter || ctx.round() >= 2 {
                 Status::Halt(())
             } else {
@@ -704,7 +1032,7 @@ mod tests {
             type Msg = ();
             type Output = u64;
             fn init(&mut self, _ctx: &mut Context<'_, ()>) {}
-            fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: &[(Port, ())]) -> Status<u64> {
+            fn round(&mut self, ctx: &mut Context<'_, ()>, _inbox: Inbox<'_, ()>) -> Status<u64> {
                 Status::Halt(ctx.rng().random())
             }
         }
@@ -736,12 +1064,12 @@ mod tests {
             self.acc = roll;
             ctx.broadcast(roll & 0xFFFF);
         }
-        fn round(&mut self, ctx: &mut Context<'_, u64>, inbox: &[(Port, u64)]) -> Status<u64> {
-            for &(port, m) in inbox {
+        fn round(&mut self, ctx: &mut Context<'_, u64>, inbox: Inbox<'_, u64>) -> Status<u64> {
+            for (port, m) in inbox {
                 self.acc = self
                     .acc
                     .rotate_left(7)
-                    .wrapping_add(m)
+                    .wrapping_add(*m)
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     ^ port as u64;
             }
@@ -793,9 +1121,18 @@ mod tests {
         let g = generators::gnp(1000, 0.008, &mut rng);
         let config = SimConfig::congest_for(&g).with_traces();
         // Fingerprints recorded on the pre-CSR engine (PR 2's
-        // `Vec<Vec<…>>` adjacency with per-`NodeInfo` clones): the layout
-        // refactor must not change a single output, statistic, or trace.
-        let recorded = [(1u64, 0x8a05ed62888b4b60u64), (77, 0x8c6e3fc93615c0c9)];
+        // `Vec<Vec<…>>` adjacency with per-`NodeInfo` clones) for seeds 1
+        // and 77, and on the pre-flat-mailbox engine (PR 3's per-slot
+        // `Vec` in/outboxes) for seeds 5 and 2024 — the two recordings
+        // agree where they overlap, pinning the plane refactor to the
+        // exact behavior of both ancestors: not a single output,
+        // statistic, or trace may change.
+        let recorded = [
+            (1u64, 0x8a05ed62888b4b60u64),
+            (77, 0x8c6e3fc93615c0c9),
+            (5, 0x3a4363275fb53268),
+            (2024, 0xfd55ba2d7db9f32e),
+        ];
         for (seed, expected) in recorded {
             let seq = Engine::build(&g, config.clone(), |_| gossip()).run(seed);
             let par = Engine::build(&g, config.clone(), |_| gossip()).run_parallel(seed);
@@ -813,6 +1150,26 @@ mod tests {
             // nodes, so the run exercises the drop path it certifies.
             assert!(seq.stats.dropped_messages > 0);
             assert!(seq.stats.total_messages > 1000);
+        }
+    }
+
+    /// The same bit-identity with tracing *off*, which enables active-slot
+    /// compaction: the swap-compacted prefix must not change outputs or
+    /// statistics relative to the traced (uncompacted) path.
+    #[test]
+    fn compaction_preserves_outputs_and_stats() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = generators::gnp(600, 0.01, &mut rng);
+        let traced = SimConfig::congest_for(&g).with_traces();
+        let plain = SimConfig::congest_for(&g);
+        for seed in [3u64, 19] {
+            let a = Engine::build(&g, traced.clone(), |_| gossip()).run(seed);
+            let b = Engine::build(&g, plain.clone(), |_| gossip()).run(seed);
+            let c = Engine::build(&g, plain.clone(), |_| gossip()).run_parallel(seed);
+            assert_eq!(a.outputs, b.outputs);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(b.outputs, c.outputs);
+            assert_eq!(b.stats, c.stats);
         }
     }
 

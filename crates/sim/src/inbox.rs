@@ -1,0 +1,185 @@
+use crate::Port;
+
+/// Port-indexed view of the messages one node received this round.
+///
+/// The engine keeps all in-flight messages in two flat *message planes*
+/// shaped exactly like the graph's CSR adjacency block (see
+/// [`congest_graph::Graph::row_offsets`]): slot `row_offsets[v] + p` of a
+/// plane belongs to port `p` of node `v`. An `Inbox` is a zero-copy view of
+/// one node's row in the receive plane — `cells[p]` is `Some(msg)` iff the
+/// neighbor behind port `p` sent `msg` in the previous round.
+///
+/// # Port ordering guarantee
+///
+/// [`iter`](Inbox::iter) yields `(port, &msg)` pairs in strictly ascending
+/// port order. This is structural (the row *is* indexed by port), not the
+/// result of a sort, so it costs nothing and can never be violated by a
+/// delivery-order bug. Protocols that used to rely on the engine sorting
+/// `&[(Port, Msg)]` inboxes get the same order for free, plus O(1) random
+/// access by port via [`get`](Inbox::get).
+#[derive(Debug)]
+pub struct Inbox<'a, M> {
+    cells: &'a [Option<M>],
+}
+
+// Manual impls: an `Inbox` is one shared slice reference, copyable no
+// matter what `M` is (a derive would demand `M: Copy`).
+impl<M> Clone for Inbox<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for Inbox<'_, M> {}
+
+impl<'a, M> Inbox<'a, M> {
+    /// Wraps a port-indexed row of message cells (`cells[p]` = the message
+    /// received through port `p`, if any). The engine calls this with a row
+    /// of its receive plane; tests and custom harnesses may build one from
+    /// any slice whose length is the node's degree.
+    #[inline]
+    pub fn new(cells: &'a [Option<M>]) -> Self {
+        Inbox { cells }
+    }
+
+    /// Number of ports of the receiving node (= its degree), whether or not
+    /// a message arrived on them.
+    #[inline]
+    pub fn num_ports(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The message received through `port` this round, if any. Returns
+    /// `None` both for silent ports and for out-of-range ports.
+    #[inline]
+    pub fn get(&self, port: Port) -> Option<&'a M> {
+        self.cells.get(port).and_then(Option::as_ref)
+    }
+
+    /// Number of messages received this round (`O(degree)` scan).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether no message arrived this round.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.iter().all(Option::is_none)
+    }
+
+    /// Iterates over the received messages as `(port, &msg)` pairs, in
+    /// ascending port order (see the type-level ordering guarantee).
+    #[inline]
+    pub fn iter(&self) -> InboxIter<'a, M> {
+        InboxIter {
+            inner: self.cells.iter().enumerate(),
+        }
+    }
+}
+
+impl<'a, M> IntoIterator for Inbox<'a, M> {
+    type Item = (Port, &'a M);
+    type IntoIter = InboxIter<'a, M>;
+
+    #[inline]
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+impl<'a, M> IntoIterator for &Inbox<'a, M> {
+    type Item = (Port, &'a M);
+    type IntoIter = InboxIter<'a, M>;
+
+    #[inline]
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+/// Iterator over an [`Inbox`], yielding `(port, &msg)` in ascending port
+/// order.
+#[derive(Debug)]
+pub struct InboxIter<'a, M> {
+    inner: std::iter::Enumerate<std::slice::Iter<'a, Option<M>>>,
+}
+
+impl<M> Clone for InboxIter<'_, M> {
+    fn clone(&self) -> Self {
+        InboxIter {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = (Port, &'a M);
+
+    #[inline]
+    fn next(&mut self) -> Option<(Port, &'a M)> {
+        for (port, cell) in self.inner.by_ref() {
+            if let Some(msg) = cell {
+                return Some((port, msg));
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // At most one message per remaining port.
+        (0, self.inner.size_hint().1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterates_in_port_order_skipping_silent_ports() {
+        let cells = [None, Some(10u64), None, Some(30), Some(40)];
+        let inbox = Inbox::new(&cells);
+        assert_eq!(inbox.num_ports(), 5);
+        assert_eq!(inbox.len(), 3);
+        assert!(!inbox.is_empty());
+        let got: Vec<(Port, u64)> = inbox.iter().map(|(p, m)| (p, *m)).collect();
+        assert_eq!(got, vec![(1, 10), (3, 30), (4, 40)]);
+    }
+
+    #[test]
+    fn get_is_total() {
+        let cells = [Some(7u32), None];
+        let inbox = Inbox::new(&cells);
+        assert_eq!(inbox.get(0), Some(&7));
+        assert_eq!(inbox.get(1), None);
+        assert_eq!(inbox.get(99), None);
+    }
+
+    #[test]
+    fn empty_inbox() {
+        let cells: [Option<u32>; 3] = [None, None, None];
+        let inbox = Inbox::new(&cells);
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.len(), 0);
+        assert_eq!(inbox.iter().count(), 0);
+        // A degree-0 node has an empty row.
+        let inbox = Inbox::<u32>::new(&[]);
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.num_ports(), 0);
+    }
+
+    #[test]
+    fn for_loop_over_value_and_reference() {
+        let cells = [Some(1u32), Some(2)];
+        let inbox = Inbox::new(&cells);
+        let mut sum = 0;
+        for (port, msg) in &inbox {
+            sum += *msg as usize + port;
+        }
+        for (port, msg) in inbox {
+            sum += *msg as usize + port;
+        }
+        assert_eq!(sum, 8);
+    }
+}

@@ -26,11 +26,19 @@
 //! struct of slices borrowed from the graph's flat CSR adjacency — see
 //! its docs for the borrow contract.
 //!
+//! Messages move through two flat *message planes* shaped like the same
+//! CSR block (one cell per directed edge): a node's sends fill its row of
+//! the send plane, and delivery scatters each message into the receiver's
+//! row of the receive plane, which the receiver observes next round as a
+//! port-indexed [`Inbox`]. Rows are preallocated once per run, so the
+//! steady-state round loop allocates nothing and inboxes arrive
+//! port-ordered without sorting.
+//!
 //! # Example: flood a token from node 0
 //!
 //! ```
 //! use congest_graph::generators;
-//! use congest_sim::{Context, Engine, Message, Protocol, SimConfig, Status};
+//! use congest_sim::{Context, Engine, Inbox, Message, Protocol, SimConfig, Status};
 //!
 //! #[derive(Clone, Debug)]
 //! struct Token;
@@ -48,7 +56,7 @@
 //!             ctx.broadcast(Token);
 //!         }
 //!     }
-//!     fn round(&mut self, ctx: &mut Context<'_, Token>, inbox: &[(usize, Token)])
+//!     fn round(&mut self, ctx: &mut Context<'_, Token>, inbox: Inbox<'_, Token>)
 //!         -> Status<bool>
 //!     {
 //!         if !self.seen && !inbox.is_empty() {
@@ -68,6 +76,7 @@
 
 mod context;
 mod engine;
+mod inbox;
 mod message;
 mod protocol;
 
@@ -75,5 +84,6 @@ pub mod rng;
 
 pub use context::Context;
 pub use engine::{run_protocol, Engine, MessageTrace, RunOutcome, RunStats, SimConfig};
+pub use inbox::{Inbox, InboxIter};
 pub use message::{bits_for_count, bits_for_value, Message};
 pub use protocol::{NodeInfo, Port, Protocol, Status};

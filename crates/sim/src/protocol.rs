@@ -2,7 +2,7 @@ use std::fmt::Debug;
 
 use congest_graph::NodeId;
 
-use crate::{Context, Message};
+use crate::{Context, Inbox, Message};
 
 /// A port: the local index of an incident edge at a node (`0..degree`).
 ///
@@ -93,11 +93,13 @@ pub trait Protocol {
     /// Round 0: inspect [`Context`], initialize state, optionally send.
     fn init(&mut self, ctx: &mut Context<'_, Self::Msg>);
 
-    /// One synchronous round: `inbox` holds `(port, message)` pairs sorted
-    /// by port. Return [`Status::Halt`] to stop participating.
+    /// One synchronous round: `inbox` is a port-indexed view of the
+    /// messages neighbors sent in the previous round (iteration is in
+    /// ascending port order by construction — see [`Inbox`]). Return
+    /// [`Status::Halt`] to stop participating.
     fn round(
         &mut self,
         ctx: &mut Context<'_, Self::Msg>,
-        inbox: &[(Port, Self::Msg)],
+        inbox: Inbox<'_, Self::Msg>,
     ) -> Status<Self::Output>;
 }

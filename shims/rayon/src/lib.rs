@@ -79,4 +79,20 @@ mod tests {
     fn current_num_threads_is_positive() {
         assert!(super::current_num_threads() >= 1);
     }
+
+    #[test]
+    fn scoped_worker_batches_cover_every_chunk_exactly_once() {
+        // Force the multi-worker scoped path regardless of the host's
+        // core count, across batch/chunk shapes that don't divide evenly.
+        for (len, chunk, workers) in [(1000, 64, 4), (1000, 7, 3), (10, 1, 8), (5, 5, 2)] {
+            let mut v = vec![0u64; len];
+            v.par_chunks_mut(chunk).for_each_with_workers(workers, |c| {
+                assert!(c.len() <= chunk, "chunk straddled a worker batch");
+                for x in c {
+                    *x += 1;
+                }
+            });
+            assert!(v.iter().all(|&x| x == 1), "shape ({len},{chunk},{workers})");
+        }
+    }
 }

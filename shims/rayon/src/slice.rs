@@ -32,25 +32,46 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
     /// fine-grained splits cannot exhaust OS threads.
     ///
     /// Single-chunk or single-worker splits run inline on the calling
-    /// thread, so the sequential case pays no thread-spawn cost.
+    /// thread, so the sequential case pays no thread-spawn cost. Worker
+    /// batches are carved with `split_at_mut` instead of collecting a
+    /// chunk list, so the only per-call heap traffic is the scoped
+    /// spawns themselves (callers like `congest_sim::Engine` invoke this
+    /// every round).
     pub fn for_each<F>(self, f: F)
     where
         F: Fn(&mut [T]) + Sync,
     {
-        let mut chunks: Vec<&mut [T]> = self.slice.chunks_mut(self.chunk_size).collect();
-        let workers = crate::current_num_threads().clamp(1, chunks.len().max(1));
+        self.for_each_with_workers(crate::current_num_threads(), f);
+    }
+
+    /// [`for_each`](Self::for_each) with an explicit worker-count cap;
+    /// exposed crate-internally so tests can drive the scoped-thread path
+    /// on single-core hosts.
+    pub(crate) fn for_each_with_workers<F>(self, max_workers: usize, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        let n_chunks = self.slice.len().div_ceil(self.chunk_size).max(1);
+        let workers = max_workers.clamp(1, n_chunks);
         if workers <= 1 {
-            for chunk in chunks {
+            for chunk in self.slice.chunks_mut(self.chunk_size) {
                 f(chunk);
             }
             return;
         }
-        let per_worker = chunks.len().div_ceil(workers);
+        // Contiguous batch per worker, aligned to chunk boundaries so no
+        // chunk straddles two workers.
+        let per_worker = n_chunks.div_ceil(workers).saturating_mul(self.chunk_size);
         let f = &f;
         std::thread::scope(|s| {
-            for batch in chunks.chunks_mut(per_worker) {
+            let mut rest = self.slice;
+            while !rest.is_empty() {
+                let take = per_worker.min(rest.len());
+                let (batch, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let chunk_size = self.chunk_size;
                 s.spawn(move || {
-                    for chunk in batch.iter_mut() {
+                    for chunk in batch.chunks_mut(chunk_size) {
                         f(chunk);
                     }
                 });

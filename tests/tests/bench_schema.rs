@@ -1,0 +1,62 @@
+//! Guards the checked-in `BENCH_engine.json` perf trajectory: the file
+//! must stay a JSON array whose records cover the full size matrix
+//! (n ∈ {1k, 10k, 100k}) with both executors' medians, so PRs can't
+//! silently shrink the baseline back to a single point. (Full JSON
+//! parsing is CI's job, via `python3 -m json`; this test checks the
+//! structural skeleton and the schema markers without a JSON dependency.)
+
+use std::path::Path;
+
+fn bench_json() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../BENCH_engine.json");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("BENCH_engine.json must be checked in at {path:?}: {e}"))
+}
+
+#[test]
+fn baseline_is_an_array_covering_the_size_matrix() {
+    let s = bench_json();
+    let t = s.trim();
+    assert!(
+        t.starts_with('[') && t.ends_with(']'),
+        "multi-size schema is a JSON array of records"
+    );
+    for n in ["\"n\": 1000,", "\"n\": 10000,", "\"n\": 100000,"] {
+        assert!(t.contains(n), "missing size record {n}");
+    }
+    for key in [
+        "\"run\":",
+        "\"run_parallel\":",
+        "\"build\":",
+        "\"threads\":",
+    ] {
+        assert!(t.contains(key), "records must carry {key} medians/metadata");
+    }
+    // Braces and brackets must balance — catches truncated appends.
+    for (open, close) in [('{', '}'), ('[', ']')] {
+        let opens = t.matches(open).count();
+        let closes = t.matches(close).count();
+        assert_eq!(
+            opens, closes,
+            "unbalanced {open}{close} in BENCH_engine.json"
+        );
+    }
+}
+
+#[test]
+fn baseline_medians_are_positive_integers() {
+    let s = bench_json();
+    for field in ["\"build\":", "\"run\":", "\"run_parallel\":"] {
+        for chunk in s.split(field).skip(1) {
+            let digits: String = chunk
+                .trim_start()
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            let v: u128 = digits.parse().unwrap_or_else(|_| {
+                panic!("field {field} must be followed by an integer, got {chunk:.20}")
+            });
+            assert!(v > 0, "median {field} must be positive");
+        }
+    }
+}
