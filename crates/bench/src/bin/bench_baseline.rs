@@ -95,41 +95,6 @@ fn record_for(n: usize, samples: usize) -> String {
     )
 }
 
-/// Appends `records` to the JSON array at `path`, creating the array if
-/// the file is missing/empty and wrapping a legacy single-object file
-/// (the pre-multi-size schema) as its first entry.
-fn append_records(path: &str, records: &[String]) -> String {
-    let new_block = records.join(",\n");
-    let existing = std::fs::read_to_string(path).unwrap_or_default();
-    let trimmed = existing.trim();
-    if trimmed.is_empty() {
-        return format!("[\n{new_block}\n]\n");
-    }
-    if let Some(body) = trimmed
-        .strip_prefix('[')
-        .and_then(|s| s.strip_suffix(']'))
-        .map(str::trim)
-    {
-        if body.is_empty() {
-            format!("[\n{new_block}\n]\n")
-        } else {
-            format!("[\n{body},\n{new_block}\n]\n")
-        }
-    } else if trimmed.starts_with('{') && trimmed.ends_with('}') {
-        // Legacy single-object schema: keep it as the first trajectory
-        // point.
-        format!("[\n{trimmed},\n{new_block}\n]\n")
-    } else {
-        // Neither an array nor an object: a truncated or corrupt file.
-        // Refuse to wrap garbage — failing here beats a confusing parse
-        // error at the consumer.
-        panic!(
-            "{path} holds neither a JSON array nor an object \
-             (truncated write?); fix or delete it before appending"
-        );
-    }
-}
-
 fn main() {
     let mut out_path = "BENCH_engine.json".to_string();
     let mut samples = DEFAULT_SAMPLES;
@@ -157,7 +122,9 @@ fn main() {
             record_for(n, samples)
         })
         .collect();
-    let json = append_records(&out_path, &records);
-    std::fs::write(&out_path, &json).expect("write baseline json");
+    // The append semantics (array creation, legacy single-object
+    // wrapping, corrupt-file refusal) live in the shared ledger module so
+    // the perf baseline and the conformance harness cannot drift apart.
+    let json = congest_bench::ledger::append_to_file(&out_path, &records);
     println!("wrote {out_path}:\n{json}");
 }

@@ -7,6 +7,8 @@
 //! right, so the *shape* comparison the reproduction is about can be read
 //! off directly.
 
+pub mod ledger;
+
 /// Mean of a sample.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

@@ -70,6 +70,9 @@ pub fn deterministic_delta_plus_one(g: &Graph) -> ColoringRun {
                 .max(reduction_stats.max_message_bits),
             budget_violations: linial_stats.budget_violations + reduction_stats.budget_violations,
             dropped_messages: linial_stats.dropped_messages + reduction_stats.dropped_messages,
+            adversary_dropped_messages: linial_stats.adversary_dropped_messages
+                + reduction_stats.adversary_dropped_messages,
+            crashed_nodes: linial_stats.crashed_nodes + reduction_stats.crashed_nodes,
         },
     }
 }

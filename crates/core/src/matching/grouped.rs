@@ -414,25 +414,41 @@ impl Protocol for GroupedLrMatching {
 /// quality in its tests.
 pub fn mwm_grouped(g: &Graph, seed: u64) -> super::LrMatchingRun {
     let config = SimConfig::congest_for(g).with_max_rounds(64 * g.num_nodes() + 256);
+    let (run, completed) = mwm_grouped_with(g, config, seed);
+    assert!(completed, "grouped matching failed to terminate");
+    run
+}
+
+/// Like [`mwm_grouped`] but under a caller-supplied [`SimConfig`] — the
+/// conformance harness threads fault adversaries and round caps through
+/// here. The matching is assembled from **mutually confirmed** mates
+/// only, so nodes silenced by crashes, injected message loss, or the
+/// round cap degrade to "unmatched" instead of corrupting the matching:
+/// whatever subset of nodes answers, the result is a valid matching by
+/// construction. On a fault-free completed run the mutual filter is a
+/// no-op (the protocol's mate claims are always reciprocal), so this is
+/// exactly [`mwm_grouped`]'s assembly. Returns the run plus whether every
+/// node halted normally.
+pub fn mwm_grouped_with(g: &Graph, config: SimConfig, seed: u64) -> (super::LrMatchingRun, bool) {
     let outcome = run_protocol(g, config, |_| GroupedLrMatching::new(), seed);
-    assert!(outcome.completed, "grouped matching failed to terminate");
+    let completed = outcome.completed;
     let stats = outcome.stats.clone();
-    let outputs = outcome.into_outputs();
     let mut matching = Matching::new(g);
     for v in g.nodes() {
-        if let Some(mate) = outputs[v.index()] {
-            if v < mate {
+        if let Some(Some(mate)) = outcome.outputs[v.index()] {
+            if v < mate && outcome.outputs[mate.index()] == Some(Some(v)) {
                 let e = g.find_edge(v, mate).expect("mates are adjacent");
                 matching.insert(g, e);
             }
         }
     }
-    super::LrMatchingRun {
+    let run = super::LrMatchingRun {
         matching,
         line_rounds: stats.rounds,
         physical_rounds: stats.rounds,
         stats,
-    }
+    };
+    (run, completed)
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 
 mod grouped;
 
-pub use grouped::mwm_grouped;
+pub use grouped::{mwm_grouped, mwm_grouped_with};
 
 use congest_graph::{EdgeId, Graph, Matching};
 use congest_sim::RunStats;

@@ -183,6 +183,9 @@ pub fn alg3(g: &Graph) -> Alg3Run {
                 .max(lr_stats.max_message_bits),
             budget_violations: coloring.stats.budget_violations + lr_stats.budget_violations,
             dropped_messages: coloring.stats.dropped_messages + lr_stats.dropped_messages,
+            adversary_dropped_messages: coloring.stats.adversary_dropped_messages
+                + lr_stats.adversary_dropped_messages,
+            crashed_nodes: coloring.stats.crashed_nodes + lr_stats.crashed_nodes,
         },
     }
 }

@@ -1,0 +1,108 @@
+//! Conformance-harness entry point.
+//!
+//! ```text
+//! cargo run --release -p harness [-- PATH] [--samples small|full]
+//! ```
+//!
+//! Runs the full scenario matrix (see `congest_harness`), panicking on
+//! any violated guarantee, then *appends* one record per cell to the
+//! JSON-array ledger at `PATH` (default `QUALITY_engine.json`) — the
+//! same append-only convention as `BENCH_engine.json`, via the shared
+//! [`congest_bench::ledger`] module — and prints a summary table.
+//!
+//! `--samples small` sweeps one engine seed per cell (the CI smoke
+//! setting); `--samples full` (default) sweeps three.
+
+use congest_bench::Table;
+use congest_harness::{conformance_suite, fault_suite, SampleSize};
+
+fn main() {
+    let mut out_path = "QUALITY_engine.json".to_string();
+    let mut samples = SampleSize::Full;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--samples" {
+            let v = args.next().expect("--samples needs small|full");
+            samples = parse_samples(&v);
+        } else if let Some(v) = arg.strip_prefix("--samples=") {
+            samples = parse_samples(v);
+        } else if arg.starts_with('-') {
+            // Don't let a flag typo silently become the output path.
+            panic!("unknown flag {arg}; usage: harness [PATH] [--samples small|full]");
+        } else {
+            out_path = arg;
+        }
+    }
+
+    eprintln!(
+        "running conformance matrix ({} engine seed(s) per cell)...",
+        samples.seeds().len()
+    );
+    let conformance = conformance_suite(samples);
+    eprintln!("running fault-injection suite...");
+    let faults = fault_suite();
+
+    let mut table = Table::new(&[
+        "protocol", "graph", "weights", "valid", "rounds", "budget", "ratio", "bound", "oracle",
+    ]);
+    for r in &conformance {
+        table.row(vec![
+            r.protocol.to_string(),
+            r.topology.family.to_string(),
+            r.weighting.to_string(),
+            r.all_valid.to_string(),
+            r.rounds_max.to_string(),
+            r.round_budget.to_string(),
+            format!("{:.3}", r.ratio_min),
+            format!("{:.3}", r.ratio_bound),
+            r.oracle.to_string(),
+        ]);
+    }
+    table.print();
+
+    let mut fault_table = Table::new(&[
+        "protocol",
+        "graph",
+        "drop",
+        "crash",
+        "completed",
+        "decided",
+        "safe",
+        "adv_dropped",
+        "crashed",
+    ]);
+    for r in &faults {
+        fault_table.row(vec![
+            r.protocol.to_string(),
+            r.topology.family.to_string(),
+            format!("{}", r.adversary.drop_prob),
+            format!("{}", r.adversary.crash_prob),
+            r.completed.to_string(),
+            format!("{:.2}", r.decided_fraction),
+            r.safety_ok.to_string(),
+            r.adversary_dropped.to_string(),
+            r.crashed_nodes.to_string(),
+        ]);
+    }
+    fault_table.print();
+
+    let records: Vec<String> = conformance
+        .iter()
+        .map(|r| r.to_json())
+        .chain(faults.iter().map(|r| r.to_json()))
+        .collect();
+    congest_bench::ledger::append_to_file(&out_path, &records);
+    println!(
+        "wrote {out_path}: {} conformance + {} fault records, all bounds held",
+        conformance.len(),
+        faults.len()
+    );
+}
+
+fn parse_samples(v: &str) -> SampleSize {
+    match v {
+        "small" => SampleSize::Small,
+        "full" => SampleSize::Full,
+        other => panic!("--samples must be small or full, got {other}"),
+    }
+}

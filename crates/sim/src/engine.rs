@@ -6,7 +6,7 @@ use rayon::prelude::*;
 
 use crate::message::bits_for_count;
 use crate::rng::node_rng;
-use crate::{Context, Inbox, Message, NodeInfo, Protocol, Status};
+use crate::{Adversary, Context, Inbox, Message, NodeInfo, Protocol, Status};
 
 /// Simulation configuration: model (bit budget) and safety limits.
 #[derive(Clone, Debug)]
@@ -23,6 +23,12 @@ pub struct SimConfig {
     /// delivery phase onto a sequential ascending-node-id path and disables
     /// active-slot compaction so trace order is reproducible.
     pub record_traces: bool,
+    /// Deterministic fault adversary (seeded message drops and node
+    /// crashes; see [`Adversary`]). `None` — the default everywhere — is
+    /// the fault-free engine the gnp-1000 fingerprints pin bit-identical;
+    /// the adversary's coin stream is keyed by its own seed, so enabling
+    /// it never perturbs the protocol's RNG draws.
+    pub adversary: Option<Adversary>,
 }
 
 impl SimConfig {
@@ -38,6 +44,7 @@ impl SimConfig {
             bit_budget: Some(8 * (id_bits + weight_bits)),
             max_rounds: 1_000_000,
             record_traces: false,
+            adversary: None,
         }
     }
 
@@ -47,6 +54,7 @@ impl SimConfig {
             bit_budget: None,
             max_rounds: 1_000_000,
             record_traces: false,
+            adversary: None,
         }
     }
 
@@ -59,6 +67,12 @@ impl SimConfig {
     /// Returns the configuration with message tracing enabled.
     pub fn with_traces(mut self) -> Self {
         self.record_traces = true;
+        self
+    }
+
+    /// Returns the configuration with the given fault adversary enabled.
+    pub fn with_adversary(mut self, adversary: Adversary) -> Self {
+        self.adversary = Some(adversary);
         self
     }
 }
@@ -87,11 +101,25 @@ pub struct RunStats {
     pub max_message_bits: usize,
     /// Messages exceeding the configured bit budget.
     pub budget_violations: u64,
-    /// Messages whose receiver halted in the sending round or earlier.
-    /// Round semantics are order-independent: a message sent in round `r`
-    /// is dropped iff its receiver halted in some round `≤ r`, regardless
-    /// of the relative node ids of sender and receiver.
+    /// Messages whose receiver was *dead* — halted, or crash-stopped by
+    /// the [`Adversary`] — in the sending round or earlier. Round
+    /// semantics are order-independent: a message sent in round `r` is
+    /// dropped iff its receiver died in some round `≤ r`, regardless of
+    /// the relative node ids of sender and receiver.
     pub dropped_messages: u64,
+    /// Messages to *live* receivers dropped in flight by the configured
+    /// [`Adversary`] (always 0 when [`SimConfig::adversary`] is `None`).
+    /// Counted separately from
+    /// [`dropped_messages`](Self::dropped_messages), so in-flight
+    /// injected losses stay distinguishable from dead-receiver losses
+    /// (note that on crash-adversary runs the latter still includes
+    /// crash-induced drops — check
+    /// [`crashed_nodes`](Self::crashed_nodes) to attribute them).
+    pub adversary_dropped_messages: u64,
+    /// Nodes crash-stopped by the configured [`Adversary`]. A crashed
+    /// node produces no output, so any run with `crashed_nodes > 0`
+    /// reports [`RunOutcome::completed`] = `false`.
+    pub crashed_nodes: u64,
 }
 
 /// Result of running a protocol to completion (or to the round cap).
@@ -257,6 +285,13 @@ struct DeliverArgs<'a> {
     alive: &'a [bool],
     /// [`SimConfig::bit_budget`].
     bit_budget: Option<usize>,
+    /// The round being delivered, so adversary drop coins can be keyed by
+    /// `(round, from, to)` — a pure function, independent of delivery
+    /// order and parallel chunking.
+    round: usize,
+    /// Message-drop adversary, pre-filtered to `None` when it cannot fire
+    /// so the fault-free hot path tests one `Option` discriminant only.
+    drop_adversary: Option<Adversary>,
 }
 
 /// Per-chunk statistics accumulator for the delivery phase; merged into
@@ -268,6 +303,7 @@ struct Tally {
     max_message_bits: usize,
     budget_violations: u64,
     dropped_messages: u64,
+    adversary_dropped_messages: u64,
 }
 
 /// Below this many active slots, `run_parallel` steps and delivers inline:
@@ -432,6 +468,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 let max_message_bits = AtomicUsize::new(0);
                 let budget_violations = AtomicU64::new(0);
                 let dropped_messages = AtomicU64::new(0);
+                let adversary_dropped = AtomicU64::new(0);
                 let chunk = slots.len().div_ceil(threads).max(1);
                 slots.par_chunks_mut(chunk).for_each(|chunk| {
                     let tally = Self::deliver_all(chunk, planes, args);
@@ -442,12 +479,15 @@ impl<'g, P: Protocol> Engine<'g, P> {
                     max_message_bits.fetch_max(tally.max_message_bits, Ordering::Relaxed);
                     budget_violations.fetch_add(tally.budget_violations, Ordering::Relaxed);
                     dropped_messages.fetch_add(tally.dropped_messages, Ordering::Relaxed);
+                    adversary_dropped
+                        .fetch_add(tally.adversary_dropped_messages, Ordering::Relaxed);
                 });
                 Tally {
                     total_messages: total_messages.into_inner(),
                     max_message_bits: max_message_bits.into_inner(),
                     budget_violations: budget_violations.into_inner(),
                     dropped_messages: dropped_messages.into_inner(),
+                    adversary_dropped_messages: adversary_dropped.into_inner(),
                 }
             },
         )
@@ -523,6 +563,23 @@ impl<'g, P: Protocol> Engine<'g, P> {
         while active_count > 0 && stats.rounds < config.max_rounds {
             stats.rounds += 1;
             let round = stats.rounds;
+            // Crash adversary: decided before the compute phase, per node,
+            // by a coin pure in (round, id) — so the schedule cannot
+            // depend on slot order, compaction, or parallel chunking. A
+            // crashed node is inert from this round on: it neither
+            // computes nor sends, produces no output, and `alive` makes
+            // delivery drop everything addressed to it. (Rounds ≥ 1 only:
+            // every node is guaranteed its `init`.)
+            if let Some(adv) = config.adversary.filter(|a| a.crash_prob > 0.0) {
+                for slot in slots[..active_len].iter_mut() {
+                    if slot.active && adv.crashes(round, slot.info.id) {
+                        slot.active = false;
+                        alive[slot.info.id.index()] = false;
+                        active_count -= 1;
+                        stats.crashed_nodes += 1;
+                    }
+                }
+            }
             compute(&mut slots[..active_len], round, &planes);
             active_len = Self::delivery_phase(
                 &config,
@@ -543,8 +600,8 @@ impl<'g, P: Protocol> Engine<'g, P> {
 
         RunOutcome {
             outputs,
+            completed: active_count == 0 && stats.crashed_nodes == 0,
             stats,
-            completed: active_count == 0,
             traces,
         }
     }
@@ -622,7 +679,17 @@ impl<'g, P: Protocol> Engine<'g, P> {
             }
             let to = slot.info.neighbor_ids[port];
             on_message(slot.info.id, to, bits);
-            if args.alive[to.index()] {
+            if !args.alive[to.index()] {
+                tally.dropped_messages += 1;
+            } else if args
+                .drop_adversary
+                .is_some_and(|adv| adv.drops_message(args.round, slot.info.id, to))
+            {
+                // Lost in flight: the receiver is alive but never sees it.
+                // The coin is pure in (round, from, to), so the schedule
+                // is identical under any delivery order or chunking.
+                tally.adversary_dropped_messages += 1;
+            } else {
                 let back = slot.reverse_port[port] as usize;
                 // SAFETY: `row_offsets[to] + back` addresses the cell of
                 // the directed edge (sender → to); reverse ports are a
@@ -634,8 +701,6 @@ impl<'g, P: Protocol> Engine<'g, P> {
                         .recv
                         .cell_mut(args.row_offsets[to.index()] as usize + back) = Some(msg);
                 }
-            } else {
-                tally.dropped_messages += 1;
             }
         }
     }
@@ -688,6 +753,8 @@ impl<'g, P: Protocol> Engine<'g, P> {
             row_offsets,
             alive,
             bit_budget: config.bit_budget,
+            round,
+            drop_adversary: config.adversary.filter(|a| a.drop_prob > 0.0),
         };
         let tally = if config.record_traces {
             // Tracing pins delivery to ascending node-id order (compaction
@@ -705,6 +772,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
         stats.max_message_bits = stats.max_message_bits.max(tally.max_message_bits);
         stats.budget_violations += tally.budget_violations;
         stats.dropped_messages += tally.dropped_messages;
+        stats.adversary_dropped_messages += tally.adversary_dropped_messages;
         if !compact {
             return active_len;
         }
@@ -1171,6 +1239,129 @@ mod tests {
             assert_eq!(b.outputs, c.outputs);
             assert_eq!(b.stats, c.stats);
         }
+    }
+
+    #[test]
+    fn full_message_drop_silences_every_link() {
+        // Census halts after one exchange no matter what arrives, so under
+        // a drop-everything adversary it completes with *empty* neighbor
+        // lists and every sent message counted as adversary-dropped.
+        let g = generators::complete(4);
+        let config = SimConfig::congest_for(&g).with_adversary(Adversary::message_drops(1.0, 9));
+        let outcome = run_protocol(&g, config, |_| Census { heard: Vec::new() }, 7);
+        assert!(outcome.completed);
+        assert_eq!(outcome.stats.total_messages, 12);
+        assert_eq!(outcome.stats.adversary_dropped_messages, 12);
+        assert_eq!(outcome.stats.dropped_messages, 0);
+        for out in outcome.outputs {
+            assert_eq!(out.unwrap(), vec![]);
+        }
+    }
+
+    #[test]
+    fn full_crash_stops_the_run_without_outputs() {
+        let g = generators::cycle(6);
+        let config = SimConfig::local()
+            .with_max_rounds(50)
+            .with_adversary(Adversary::node_crashes(1.0, 3));
+        let outcome = run_protocol(&g, config, |_| Forever, 0);
+        // Every node crashes at the start of round 1: no outputs, the run
+        // ends immediately (nothing left to step), and completion is
+        // withheld because crashed nodes never halted.
+        assert!(!outcome.completed);
+        assert_eq!(outcome.stats.crashed_nodes, 6);
+        assert_eq!(outcome.stats.rounds, 1);
+        assert!(outcome.outputs.iter().all(Option::is_none));
+    }
+
+    /// Broadcasts every round and never halts: under a crash adversary,
+    /// the survivors' messages to freshly crashed neighbors must be
+    /// counted as dropped (dead receiver), exactly like messages to
+    /// halted nodes.
+    struct Blaster;
+    impl Protocol for Blaster {
+        type Msg = u32;
+        type Output = ();
+        fn init(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.broadcast(1);
+        }
+        fn round(&mut self, ctx: &mut Context<'_, u32>, _inbox: Inbox<'_, u32>) -> Status<()> {
+            ctx.broadcast(1);
+            Status::Active
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_absorb_messages_like_halted_ones() {
+        let g = generators::complete(8);
+        let config = SimConfig::local()
+            .with_max_rounds(40)
+            .with_adversary(Adversary::node_crashes(0.5, 11));
+        let outcome = run_protocol(&g, config, |_| Blaster, 0);
+        // With per-round crash probability ½ on 8 nodes, 40 rounds kill
+        // everyone (probability of survival ≈ 8·2⁻⁴⁰) — and every message
+        // a survivor sent to an already-crashed neighbor must be in
+        // `dropped_messages`.
+        assert_eq!(outcome.stats.crashed_nodes, 8);
+        assert!(!outcome.completed);
+        assert!(outcome.stats.total_messages > 0);
+        assert!(
+            outcome.stats.dropped_messages > 0,
+            "messages to crashed receivers must be counted as dropped"
+        );
+        assert_eq!(outcome.stats.adversary_dropped_messages, 0);
+        assert!(outcome.outputs.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn zero_probability_adversary_is_bit_identical_to_none() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let g = generators::gnp(200, 0.04, &mut rng);
+        let plain = SimConfig::congest_for(&g).with_traces();
+        let zeroed = plain.clone().with_adversary(Adversary {
+            drop_prob: 0.0,
+            crash_prob: 0.0,
+            seed: 0xDEAD,
+        });
+        for seed in [2u64, 40] {
+            let a = Engine::build(&g, plain.clone(), |_| gossip()).run(seed);
+            let b = Engine::build(&g, zeroed.clone(), |_| gossip()).run(seed);
+            assert_eq!(a.outputs, b.outputs);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.traces, b.traces);
+        }
+    }
+
+    #[test]
+    fn fault_schedules_replay_and_parallelize_bit_identically() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let g = generators::gnp(400, 0.02, &mut rng);
+        let adv = Adversary {
+            drop_prob: 0.15,
+            crash_prob: 0.01,
+            seed: 77,
+        };
+        let config = SimConfig::congest_for(&g)
+            .with_max_rounds(64)
+            .with_adversary(adv);
+        let a = Engine::build(&g, config.clone(), |_| gossip()).run(5);
+        let b = Engine::build(&g, config.clone(), |_| gossip()).run(5);
+        let par = Engine::build(&g, config.clone(), |_| gossip()).run_parallel(5);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.outputs, par.outputs);
+        assert_eq!(a.stats, par.stats, "faults must be chunking-independent");
+        assert!(a.stats.adversary_dropped_messages > 0);
+        // A different adversary seed yields a different schedule.
+        let other = SimConfig::congest_for(&g)
+            .with_max_rounds(64)
+            .with_adversary(Adversary { seed: 78, ..adv });
+        let c = Engine::build(&g, other, |_| gossip()).run(5);
+        assert_ne!(
+            (a.outputs, a.stats),
+            (c.outputs, c.stats),
+            "adversary seed must matter"
+        );
     }
 
     #[test]

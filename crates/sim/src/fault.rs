@@ -1,0 +1,214 @@
+//! Deterministic fault injection: seeded message-drop and node-crash
+//! adversaries.
+//!
+//! An [`Adversary`] is threaded through [`SimConfig`](crate::SimConfig)
+//! and consulted by the engine at two points:
+//!
+//! * **message drops** — during the delivery phase, each in-flight
+//!   message is dropped with probability [`Adversary::drop_prob`]
+//!   (counted in
+//!   [`RunStats::adversary_dropped_messages`](crate::RunStats::adversary_dropped_messages));
+//! * **node crashes** — at the start of each compute phase (rounds ≥ 1;
+//!   every node is guaranteed its `init`), each still-active node
+//!   crash-stops with probability [`Adversary::crash_prob`] (counted in
+//!   [`RunStats::crashed_nodes`](crate::RunStats::crashed_nodes)).
+//!   A crashed node never computes or sends again, produces no output,
+//!   and messages addressed to it are dropped exactly like messages to a
+//!   halted node.
+//!
+//! Every decision is a **pure function** of the adversary seed and the
+//! coordinates of the event — `(round, from, to)` for a drop,
+//! `(round, node)` for a crash — via SplitMix64 mixing, never a shared
+//! sequential RNG. That makes fault schedules independent of node
+//! processing order, of active-slot compaction, and of how the parallel
+//! executor chunks slots across threads: `run` and `run_parallel` see the
+//! *same* faults, bit for bit, and re-running with the same seeds
+//! reproduces a failure exactly.
+
+use congest_graph::NodeId;
+
+use crate::rng::splitmix64;
+
+/// A deterministic fault adversary (see the [module docs](self)).
+///
+/// With both probabilities at `0.0` the adversary never fires; the engine
+/// additionally special-cases `SimConfig::adversary == None` so the
+/// default path stays byte-for-byte the code that the gnp-1000
+/// fingerprints pin.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Adversary {
+    /// Probability that any single in-flight message is dropped.
+    pub drop_prob: f64,
+    /// Per-round probability that an active node crash-stops.
+    pub crash_prob: f64,
+    /// Seed of the adversary's private coin stream. Independent of the
+    /// protocol seed: the same protocol run can be replayed under many
+    /// fault schedules, and vice versa.
+    pub seed: u64,
+}
+
+impl Adversary {
+    /// An adversary that drops each message with probability `p`.
+    pub fn message_drops(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability {p} ∉ [0, 1]");
+        Adversary {
+            drop_prob: p,
+            crash_prob: 0.0,
+            seed,
+        }
+    }
+
+    /// An adversary that crash-stops each active node with per-round
+    /// probability `p`.
+    pub fn node_crashes(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "crash probability {p} ∉ [0, 1]");
+        Adversary {
+            drop_prob: 0.0,
+            crash_prob: p,
+            seed,
+        }
+    }
+
+    /// Returns the adversary with the message-drop probability replaced.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability {p} ∉ [0, 1]");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Returns the adversary with the node-crash probability replaced.
+    pub fn with_crash_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "crash probability {p} ∉ [0, 1]");
+        self.crash_prob = p;
+        self
+    }
+
+    /// Whether the adversary can ever fire; the engine skips its hooks
+    /// entirely when it cannot.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0 || self.crash_prob > 0.0
+    }
+
+    /// Whether the message sent `from → to` in `round` is dropped in
+    /// flight. Pure in `(seed, round, from, to)`.
+    #[inline]
+    pub fn drops_message(&self, round: usize, from: NodeId, to: NodeId) -> bool {
+        if self.drop_prob <= 0.0 {
+            return false;
+        }
+        let coord = (u64::from(from.0) << 32) | u64::from(to.0);
+        coin(self.seed, DROP_SALT, round as u64, coord) < self.drop_prob
+    }
+
+    /// Whether node `v` crash-stops at the start of `round`. Pure in
+    /// `(seed, round, v)`.
+    #[inline]
+    pub fn crashes(&self, round: usize, v: NodeId) -> bool {
+        if self.crash_prob <= 0.0 {
+            return false;
+        }
+        coin(self.seed, CRASH_SALT, round as u64, u64::from(v.0)) < self.crash_prob
+    }
+}
+
+/// Domain-separation constants so the drop and crash coin streams never
+/// collide even for coinciding `(round, coordinate)` pairs.
+const DROP_SALT: u64 = 0xD809_5EED_0000_0001;
+const CRASH_SALT: u64 = 0xC7A5_45EE_D000_0002;
+
+/// A uniform coin in `[0, 1)` derived from four words by chained
+/// SplitMix64 mixing (53 mantissa bits, like `rand`'s float conversion).
+#[inline]
+fn coin(seed: u64, salt: u64, a: u64, b: u64) -> f64 {
+    let h = splitmix64(splitmix64(splitmix64(seed ^ salt).wrapping_add(a)).wrapping_add(b));
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coins_are_deterministic_and_seed_sensitive() {
+        let a = Adversary::message_drops(0.5, 7);
+        let b = Adversary::message_drops(0.5, 8);
+        let mut diverged = false;
+        for round in 0..64 {
+            let (x, y) = (NodeId(round as u32), NodeId(round as u32 + 1));
+            assert_eq!(
+                a.drops_message(round, x, y),
+                a.drops_message(round, x, y),
+                "same seed must replay the same schedule"
+            );
+            if a.drops_message(round, x, y) != b.drops_message(round, x, y) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "different seeds must give different schedules");
+    }
+
+    #[test]
+    fn probabilities_are_honored_at_the_extremes() {
+        let never = Adversary {
+            drop_prob: 0.0,
+            crash_prob: 0.0,
+            seed: 3,
+        };
+        let always = Adversary {
+            drop_prob: 1.0,
+            crash_prob: 1.0,
+            seed: 3,
+        };
+        assert!(!never.is_active());
+        assert!(always.is_active());
+        for r in 0..32 {
+            let (u, v) = (NodeId(r as u32), NodeId(99));
+            assert!(!never.drops_message(r, u, v));
+            assert!(!never.crashes(r, u));
+            assert!(always.drops_message(r, u, v));
+            assert!(always.crashes(r, u));
+        }
+    }
+
+    #[test]
+    fn empirical_rate_tracks_probability() {
+        let adv = Adversary::message_drops(0.25, 1234);
+        let mut hits = 0u32;
+        let trials = 20_000;
+        for i in 0..trials {
+            if adv.drops_message(i as usize % 50, NodeId(i / 50), NodeId(i % 97)) {
+                hits += 1;
+            }
+        }
+        let rate = f64::from(hits) / f64::from(trials);
+        assert!(
+            (rate - 0.25).abs() < 0.02,
+            "empirical drop rate {rate} far from 0.25"
+        );
+    }
+
+    #[test]
+    fn drop_and_crash_streams_are_independent() {
+        // Same coordinates, both probabilities 0.5: the two decision
+        // kinds must not be the same coin.
+        let adv = Adversary {
+            drop_prob: 0.5,
+            crash_prob: 0.5,
+            seed: 42,
+        };
+        let mut differ = false;
+        for r in 0..64 {
+            let v = NodeId(r as u32);
+            if adv.drops_message(r, v, NodeId(0)) != adv.crashes(r, v) {
+                differ = true;
+            }
+        }
+        assert!(differ, "drop and crash coins must be domain-separated");
+    }
+
+    #[test]
+    #[should_panic(expected = "∉ [0, 1]")]
+    fn out_of_range_probability_is_rejected() {
+        let _ = Adversary::message_drops(1.5, 0);
+    }
+}

@@ -18,6 +18,11 @@
 //!   [`RunStats::budget_violations`]).
 //! * Reproducibility — every node derives its own RNG from the master seed
 //!   via [`rng::node_rng`], so runs are bit-for-bit repeatable.
+//! * Fault injection — an optional seeded [`Adversary`] drops messages in
+//!   flight and crash-stops nodes, with every decision a pure function of
+//!   the adversary seed and the event's coordinates, so fault schedules
+//!   replay bit-identically too (see the [`fault`](Adversary) docs). Off
+//!   by default, with zero behavior change when disabled.
 //!
 //! Nodes address each other through *ports* (indices into their adjacency
 //! list); they know their own id, weight, degree, per-port edge weights and
@@ -76,6 +81,7 @@
 
 mod context;
 mod engine;
+mod fault;
 mod inbox;
 mod message;
 mod protocol;
@@ -84,6 +90,7 @@ pub mod rng;
 
 pub use context::Context;
 pub use engine::{run_protocol, Engine, MessageTrace, RunOutcome, RunStats, SimConfig};
+pub use fault::Adversary;
 pub use inbox::{Inbox, InboxIter};
 pub use message::{bits_for_count, bits_for_value, Message};
 pub use protocol::{NodeInfo, Port, Protocol, Status};

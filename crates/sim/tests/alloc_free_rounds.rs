@@ -69,7 +69,7 @@ impl Protocol for Chatter {
 }
 
 /// Allocation count of one full build + run at the given round cap.
-fn allocations_for(g: &congest_graph::Graph, rounds: usize) -> u64 {
+fn allocations_once(g: &congest_graph::Graph, rounds: usize) -> u64 {
     let config = SimConfig::local().with_max_rounds(rounds);
     let engine = Engine::build(g, config, |_| Chatter);
     let before = ALLOCATIONS.load(Ordering::SeqCst);
@@ -78,6 +78,16 @@ fn allocations_for(g: &congest_graph::Graph, rounds: usize) -> u64 {
     assert_eq!(outcome.stats.rounds, rounds);
     assert!(!outcome.completed);
     after - before
+}
+
+/// Minimum allocation count over a few identical runs. The counter is
+/// process-wide, so an unrelated runtime thread (signal handling, stdio,
+/// the test harness's own bookkeeping) occasionally allocates *inside* a
+/// measurement window; that noise can only inflate a sample, never
+/// deflate it, so the minimum over independent attempts converges to the
+/// engine's true count.
+fn allocations_for(g: &congest_graph::Graph, rounds: usize) -> u64 {
+    (0..5).map(|_| allocations_once(g, rounds)).min().unwrap()
 }
 
 // Both checks live in ONE #[test]: the counter is process-wide, and a
@@ -107,13 +117,16 @@ fn steady_state_rounds_allocate_nothing() {
     // (engine-external, see shims/README.md), so the check only applies
     // where the fallback is active.
     if rayon::current_num_threads() == 1 {
-        let run_par = |rounds: usize| {
+        let run_par_once = |rounds: usize| {
             let config = SimConfig::local().with_max_rounds(rounds);
             let engine = Engine::build(&g, config, |_| Chatter);
             let before = ALLOCATIONS.load(Ordering::SeqCst);
             let _ = engine.run_parallel(42);
             ALLOCATIONS.load(Ordering::SeqCst) - before
         };
+        // Minimum over attempts, for the same ambient-noise reason as
+        // `allocations_for`.
+        let run_par = |rounds: usize| (0..5).map(|_| run_par_once(rounds)).min().unwrap();
         assert_eq!(
             run_par(8),
             run_par(64),

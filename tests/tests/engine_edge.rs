@@ -1,0 +1,141 @@
+//! Engine edge cases: degenerate graphs and exhausted budgets must
+//! produce sane [`RunStats`], never a panic.
+//!
+//! The CSR message planes make degree-0 nodes a real corner: their plane
+//! rows are *empty slices* (`row_offsets[v] == row_offsets[v+1]`), so
+//! `Inbox` views, broadcasts, and delivery all have to handle
+//! zero-length rows. These tests pin that behavior at the public-API
+//! level.
+
+use congest_graph::{generators, GraphBuilder, NodeId};
+use congest_mis::{verify_mis, LubyMis, MisResult};
+use congest_sim::{run_protocol, Context, Inbox, Protocol, SimConfig, Status};
+
+/// Asserts the degree-0 `Inbox` invariants from inside a protocol, then
+/// halts with its port count.
+struct DegreeZeroProbe;
+impl Protocol for DegreeZeroProbe {
+    type Msg = u32;
+    type Output = usize;
+    fn init(&mut self, ctx: &mut Context<'_, u32>) {
+        // Broadcasting on zero ports must be a no-op, not a panic.
+        ctx.broadcast(42);
+    }
+    fn round(&mut self, ctx: &mut Context<'_, u32>, inbox: Inbox<'_, u32>) -> Status<usize> {
+        if ctx.degree() == 0 {
+            assert_eq!(inbox.num_ports(), 0);
+            assert_eq!(inbox.len(), 0);
+            assert!(inbox.is_empty());
+            assert_eq!(inbox.get(0), None, "out-of-range port reads None");
+            assert_eq!(inbox.iter().count(), 0);
+        }
+        Status::Halt(inbox.num_ports())
+    }
+}
+
+#[test]
+fn empty_graph_completes_in_zero_rounds() {
+    let g = GraphBuilder::new().build();
+    let outcome = run_protocol(&g, SimConfig::congest_for(&g), |_| DegreeZeroProbe, 0);
+    assert!(outcome.completed, "no nodes ⇒ trivially complete");
+    assert!(outcome.outputs.is_empty());
+    assert_eq!(outcome.stats.rounds, 0);
+    assert_eq!(outcome.stats.total_messages, 0);
+    assert_eq!(outcome.stats.max_message_bits, 0);
+    assert_eq!(outcome.stats.dropped_messages, 0);
+}
+
+#[test]
+fn single_node_runs_and_halts() {
+    let g = GraphBuilder::with_nodes(1).build();
+    let outcome = run_protocol(&g, SimConfig::congest_for(&g), |_| DegreeZeroProbe, 3);
+    assert!(outcome.completed);
+    assert_eq!(outcome.outputs, vec![Some(0)]);
+    assert_eq!(outcome.stats.rounds, 1);
+    assert_eq!(outcome.stats.total_messages, 0);
+}
+
+#[test]
+fn zero_degree_nodes_coexist_with_connected_ones() {
+    // A path 0–1–2 plus five isolated nodes: the engine must run both
+    // kinds side by side, and the isolated nodes' empty plane rows must
+    // not perturb delivery for the connected ones.
+    let mut b = GraphBuilder::with_nodes(8);
+    b.add_edge(NodeId(0), NodeId(1));
+    b.add_edge(NodeId(1), NodeId(2));
+    let g = b.build();
+    let outcome = run_protocol(&g, SimConfig::congest_for(&g), |_| DegreeZeroProbe, 1);
+    assert!(outcome.completed);
+    assert_eq!(outcome.outputs[0], Some(1));
+    assert_eq!(outcome.outputs[1], Some(2));
+    assert_eq!(outcome.outputs[2], Some(1));
+    for v in 3..8 {
+        assert_eq!(outcome.outputs[v], Some(0), "isolated node v{v}");
+    }
+    // The probe broadcasts once per port at init: 4 directed edges.
+    assert_eq!(outcome.stats.total_messages, 4);
+    assert_eq!(outcome.stats.budget_violations, 0);
+}
+
+#[test]
+fn luby_selects_every_isolated_node() {
+    // Protocol-level degree-0 sanity: an edgeless graph's MIS is all of
+    // it, reached without a single message.
+    let g = GraphBuilder::with_nodes(6).build();
+    let outcome = run_protocol(&g, SimConfig::congest_for(&g), |_| LubyMis::new(), 5);
+    assert!(outcome.completed);
+    let results: Vec<MisResult> = outcome.outputs.iter().map(|o| o.unwrap()).collect();
+    let set = verify_mis(&g, &results).expect("edgeless MIS");
+    assert_eq!(set.len(), 6);
+}
+
+/// Never halts; used to drive the engine into its round cap.
+struct Forever;
+impl Protocol for Forever {
+    type Msg = ();
+    type Output = ();
+    fn init(&mut self, _ctx: &mut Context<'_, ()>) {}
+    fn round(&mut self, _ctx: &mut Context<'_, ()>, _inbox: Inbox<'_, ()>) -> Status<()> {
+        Status::Active
+    }
+}
+
+#[test]
+fn max_rounds_exhaustion_reports_incomplete_with_sane_stats() {
+    for max_rounds in [1usize, 7, 32] {
+        let g = generators::cycle(5);
+        let config = SimConfig::local().with_max_rounds(max_rounds);
+        let outcome = run_protocol(&g, config, |_| Forever, 9);
+        assert!(!outcome.completed);
+        assert_eq!(outcome.stats.rounds, max_rounds, "cap must be exact");
+        assert!(outcome.outputs.iter().all(Option::is_none));
+        assert_eq!(outcome.stats.total_messages, 0, "Forever never sends");
+        assert_eq!(outcome.stats.crashed_nodes, 0);
+        assert_eq!(outcome.stats.adversary_dropped_messages, 0);
+    }
+}
+
+#[test]
+fn max_rounds_zero_means_init_only() {
+    // A zero cap still runs `init` (round 0) but no communication round:
+    // nothing can halt, so the run is incomplete with zero rounds.
+    let g = generators::path(3);
+    let config = SimConfig::local().with_max_rounds(0);
+    let outcome = run_protocol(&g, config, |_| Forever, 0);
+    assert!(!outcome.completed);
+    assert_eq!(outcome.stats.rounds, 0);
+    assert!(outcome.outputs.iter().all(Option::is_none));
+}
+
+#[test]
+fn degree_zero_inbox_views_work_standalone() {
+    // `Inbox` is a public type constructible from any row; the degree-0
+    // (empty-slice) view must behave like an empty mailbox.
+    let empty: [Option<u64>; 0] = [];
+    let inbox = Inbox::new(&empty);
+    assert_eq!(inbox.num_ports(), 0);
+    assert!(inbox.is_empty());
+    assert_eq!(inbox.len(), 0);
+    assert_eq!(inbox.get(0), None);
+    assert_eq!(inbox.iter().count(), 0);
+}

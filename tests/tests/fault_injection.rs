@@ -1,0 +1,174 @@
+//! Fault-injection regression: with the adversary *disabled*, the engine
+//! must remain bit-identical to the pre-fault-injection engine — pinned
+//! by the four gnp-1000 FNV fingerprints recorded across PRs 2–4 — and
+//! with the adversary *enabled*, fault schedules must be deterministic,
+//! seed-sensitive, and identical between the sequential and parallel
+//! executors.
+//!
+//! This is the integration-level twin of the engine's internal
+//! fingerprint test: it pins the public API (`SimConfig` default
+//! construction and `with_adversary`) rather than engine internals, so a
+//! future refactor that, say, made a zero-probability adversary perturb
+//! RNG draws or message order would fail here even if the internal test
+//! were updated in the same change.
+
+use congest_graph::generators;
+use congest_sim::{Adversary, Context, Engine, Inbox, Protocol, RunOutcome, SimConfig, Status};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The engine test's message-heavy randomized workload, reproduced at
+/// the public API: every node draws a private deadline, gossips random
+/// values, and folds everything it hears into a running hash.
+struct RandomGossip {
+    deadline: usize,
+    acc: u64,
+}
+
+impl Protocol for RandomGossip {
+    type Msg = u64;
+    type Output = u64;
+    fn init(&mut self, ctx: &mut Context<'_, u64>) {
+        self.deadline = ctx.rng().random_range(1..=8);
+        let roll: u64 = ctx.rng().random();
+        self.acc = roll;
+        ctx.broadcast(roll & 0xFFFF);
+    }
+    fn round(&mut self, ctx: &mut Context<'_, u64>, inbox: Inbox<'_, u64>) -> Status<u64> {
+        for (port, m) in inbox {
+            self.acc = self
+                .acc
+                .rotate_left(7)
+                .wrapping_add(*m)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ port as u64;
+        }
+        if ctx.round() >= self.deadline {
+            Status::Halt(self.acc)
+        } else {
+            let roll: u64 = ctx.rng().random();
+            ctx.broadcast(roll & 0xFFFF);
+            Status::Active
+        }
+    }
+}
+
+fn gossip() -> RandomGossip {
+    RandomGossip {
+        deadline: 0,
+        acc: 0,
+    }
+}
+
+/// FNV-1a over every output, statistic, and trace of a run — identical
+/// to the engine's internal fingerprint definition. The two fault
+/// statistics are deliberately *not* mixed in: the historical hashes
+/// were recorded without them, and FNV is position-sensitive, so even
+/// always-zero extra inputs would change every fingerprint. (They are
+/// asserted to be zero separately below.)
+fn outcome_hash(out: &RunOutcome<u64>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for o in &out.outputs {
+        mix(o.unwrap());
+    }
+    mix(out.stats.rounds as u64);
+    mix(out.stats.total_messages);
+    mix(out.stats.max_message_bits as u64);
+    mix(out.stats.budget_violations);
+    mix(out.stats.dropped_messages);
+    for t in &out.traces {
+        mix(t.round as u64);
+        mix(t.from.0 as u64);
+        mix(t.to.0 as u64);
+        mix(t.bits as u64);
+    }
+    h
+}
+
+/// The gnp-1000 instance every fingerprint was recorded on.
+fn gnp_1000() -> congest_graph::Graph {
+    let mut rng = SmallRng::seed_from_u64(2024);
+    generators::gnp(1000, 0.008, &mut rng)
+}
+
+/// Fingerprints recorded on the pre-CSR engine (seeds 1, 77) and the
+/// pre-message-plane engine (seeds 5, 2024) — the fault-injection layer
+/// is the third refactor pinned against them.
+const RECORDED: [(u64, u64); 4] = [
+    (1, 0x8a05ed62888b4b60),
+    (77, 0x8c6e3fc93615c0c9),
+    (5, 0x3a4363275fb53268),
+    (2024, 0xfd55ba2d7db9f32e),
+];
+
+#[test]
+fn disabled_fault_injection_is_bit_identical_to_recorded_fingerprints() {
+    let g = gnp_1000();
+    // Default construction: `adversary` is None.
+    let config = SimConfig::congest_for(&g).with_traces();
+    assert!(config.adversary.is_none(), "faults must be off by default");
+    for (seed, expected) in RECORDED {
+        let outcome = Engine::build(&g, config.clone(), |_| gossip()).run(seed);
+        assert!(outcome.completed);
+        assert_eq!(outcome.stats.adversary_dropped_messages, 0);
+        assert_eq!(outcome.stats.crashed_nodes, 0);
+        assert_eq!(
+            outcome_hash(&outcome),
+            expected,
+            "seed {seed}: fault-injection plumbing changed fault-free behavior"
+        );
+    }
+}
+
+#[test]
+fn zero_probability_adversary_matches_recorded_fingerprints_too() {
+    // Stronger than `None`: even with the adversary hooks *installed*
+    // but firing with probability zero, outputs/stats/traces must be the
+    // recorded ones — the adversary draws no coins from protocol RNGs.
+    let g = gnp_1000();
+    let config = SimConfig::congest_for(&g)
+        .with_traces()
+        .with_adversary(Adversary {
+            drop_prob: 0.0,
+            crash_prob: 0.0,
+            seed: 0xFEED,
+        });
+    for (seed, expected) in RECORDED {
+        let outcome = Engine::build(&g, config.clone(), |_| gossip()).run(seed);
+        assert_eq!(
+            outcome_hash(&outcome),
+            expected,
+            "seed {seed}: zero-probability adversary perturbed the run"
+        );
+    }
+}
+
+#[test]
+fn enabled_adversary_changes_behavior_deterministically() {
+    let g = gnp_1000();
+    let faulty = SimConfig::congest_for(&g)
+        .with_max_rounds(64)
+        .with_adversary(Adversary::message_drops(0.2, 7));
+    let a = Engine::build(&g, faulty.clone(), |_| gossip()).run(1);
+    let b = Engine::build(&g, faulty.clone(), |_| gossip()).run(1);
+    assert!(
+        a.stats.adversary_dropped_messages > 0,
+        "20% drops must fire"
+    );
+    assert_eq!(a.outputs, b.outputs, "fault schedules must replay");
+    assert_eq!(a.stats, b.stats);
+    // And the parallel executor sees the same schedule.
+    let par = Engine::build(&g, faulty, |_| gossip()).run_parallel(1);
+    assert_eq!(a.outputs, par.outputs);
+    assert_eq!(a.stats, par.stats);
+    // A faulty run must NOT reproduce the fault-free fingerprint.
+    let clean = Engine::build(&g, SimConfig::congest_for(&g), |_| gossip()).run(1);
+    assert_ne!(
+        a.outputs, clean.outputs,
+        "a 20% drop rate must be externally observable"
+    );
+}
