@@ -73,6 +73,12 @@ pub fn deterministic_delta_plus_one(g: &Graph) -> ColoringRun {
             adversary_dropped_messages: linial_stats.adversary_dropped_messages
                 + reduction_stats.adversary_dropped_messages,
             crashed_nodes: linial_stats.crashed_nodes + reduction_stats.crashed_nodes,
+            delayed_messages: linial_stats.delayed_messages + reduction_stats.delayed_messages,
+            duplicated_messages: linial_stats.duplicated_messages
+                + reduction_stats.duplicated_messages,
+            corrupted_messages: linial_stats.corrupted_messages
+                + reduction_stats.corrupted_messages,
+            restarted_nodes: linial_stats.restarted_nodes + reduction_stats.restarted_nodes,
         },
     }
 }

@@ -437,8 +437,15 @@ pub fn mwm_grouped_with(g: &Graph, config: SimConfig, seed: u64) -> (super::LrMa
     for v in g.nodes() {
         if let Some(Some(mate)) = outcome.outputs[v.index()] {
             if v < mate && outcome.outputs[mate.index()] == Some(Some(v)) {
-                let e = g.find_edge(v, mate).expect("mates are adjacent");
-                matching.insert(g, e);
+                // Under duplicated/reordered confirmations a node can halt
+                // on a stale claim whose far endpoint is not a neighbor of
+                // the edge it last negotiated; skip anything that does not
+                // survive an adjacency + disjointness check so every
+                // surviving subset still assembles into a valid matching.
+                let Some(e) = g.find_edge(v, mate) else {
+                    continue;
+                };
+                let _ = matching.try_insert(g, e);
             }
         }
     }
@@ -528,5 +535,44 @@ mod tests {
         let g = congest_graph::GraphBuilder::with_nodes(3).build();
         let run = mwm_grouped(&g, 1);
         assert!(run.matching.is_empty());
+    }
+
+    #[test]
+    fn assembly_tolerates_duplicated_and_reordered_confirmations() {
+        // Regression for the mutual-confirmation assembly: pin a schedule
+        // that both duplicates messages (so confirmations arrive twice,
+        // one round late) and reorders inboxes. The assembly used to
+        // `expect` adjacency and `insert` unconditionally; it must instead
+        // degrade unmatched nodes gracefully and always return a valid
+        // matching, identically across replays and executors.
+        use congest_sim::Adversary;
+        let mut rng = SmallRng::seed_from_u64(153);
+        for trial in 0..4 {
+            let mut g = generators::gnp(28, 0.18, &mut rng);
+            generators::randomize_edge_weights(&mut g, 64, &mut rng);
+            let adv = Adversary::default()
+                .with_seed(0xD0_0D + trial)
+                .with_dup_prob(0.3)
+                .with_reorder_prob(0.5);
+            let config = SimConfig::congest_for(&g)
+                .with_max_rounds(64 * g.num_nodes() + 256)
+                .with_adversary(adv);
+            let (a, _) = mwm_grouped_with(&g, config.clone(), 7 + trial);
+            assert!(
+                a.stats.duplicated_messages > 0,
+                "trial {trial}: the duplicating schedule must fire"
+            );
+            assert!(
+                a.matching.is_valid(&g),
+                "trial {trial}: assembly under duplication must stay valid"
+            );
+            let (b, _) = mwm_grouped_with(&g, config, 7 + trial);
+            assert_eq!(
+                a.matching.weight(&g),
+                b.matching.weight(&g),
+                "trial {trial}: duplicated schedules must replay"
+            );
+            assert_eq!(a.stats, b.stats, "trial {trial}");
+        }
     }
 }

@@ -298,26 +298,41 @@ impl Protocol for Alg2Node {
 /// trip signals a protocol bug).
 pub fn alg2(g: &Graph, cfg: &Alg2Config, seed: u64) -> MaxIsRun {
     let config = SimConfig::congest_for(g).with_max_rounds(32 * g.num_nodes() + 128);
-    let outcome = run_protocol(g, config, |_| Alg2Node::new(*cfg), seed);
+    let (run, completed) = alg2_with(g, cfg, config, seed);
     assert!(
-        outcome.completed,
+        completed,
         "Algorithm 2 failed to terminate within the round cap"
     );
+    run
+}
+
+/// Like [`alg2`] but under a caller-supplied [`SimConfig`] — the
+/// degradation harness threads fault adversaries, async schedulers, and
+/// round caps through here. The independent set is assembled from the
+/// nodes that decided `true`; undecided nodes (crashed, silenced, or cut
+/// off by the round cap) simply stay out of the set, so the result is
+/// reported as-is without a completion assert. Returns the run plus
+/// whether every node halted normally.
+pub fn alg2_with(g: &Graph, cfg: &Alg2Config, config: SimConfig, seed: u64) -> (MaxIsRun, bool) {
+    let cfg = *cfg;
+    let outcome = run_protocol(g, config, move |_| Alg2Node::new(cfg), seed);
+    let completed = outcome.completed;
     let stats = outcome.stats.clone();
-    let outputs = outcome.into_outputs();
     let independent_set = IndependentSet::from_members(
         g,
-        outputs
+        outcome
+            .outputs
             .iter()
             .enumerate()
-            .filter(|(_, &in_is)| in_is)
+            .filter(|(_, &o)| o == Some(true))
             .map(|(i, _)| NodeId(i as u32)),
     );
-    MaxIsRun {
+    let run = MaxIsRun {
         independent_set,
         rounds: stats.rounds,
         stats,
-    }
+    };
+    (run, completed)
 }
 
 #[cfg(test)]

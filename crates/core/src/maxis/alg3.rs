@@ -186,6 +186,10 @@ pub fn alg3(g: &Graph) -> Alg3Run {
             adversary_dropped_messages: coloring.stats.adversary_dropped_messages
                 + lr_stats.adversary_dropped_messages,
             crashed_nodes: coloring.stats.crashed_nodes + lr_stats.crashed_nodes,
+            delayed_messages: coloring.stats.delayed_messages + lr_stats.delayed_messages,
+            duplicated_messages: coloring.stats.duplicated_messages + lr_stats.duplicated_messages,
+            corrupted_messages: coloring.stats.corrupted_messages + lr_stats.corrupted_messages,
+            restarted_nodes: coloring.stats.restarted_nodes + lr_stats.restarted_nodes,
         },
     }
 }

@@ -30,6 +30,17 @@
 //! how each guarantee degrades — by construction the grouped matching
 //! stays *safe* (valid matching) under any fault schedule, while MIS
 //! independence is allowed to fail and is reported as data.
+//!
+//! A third suite — the [`degradation`] grid — sweeps the full fault
+//! model (drops, async delays, duplication, corruption, reordering,
+//! crash+restart) at three intensities per axis and writes its records
+//! to the separate `DEGRADATION_engine.json` ledger.
+
+pub mod degradation;
+pub use degradation::{
+    degradation_cell, degradation_suite, DegradationReport, FaultAxis, AXES, DEGRADATION_PROTOCOLS,
+    LEVELS,
+};
 
 use congest_approx::fast::{mcm_two_plus_eps, mwm_two_plus_eps};
 use congest_approx::matching::{mwm_grouped, mwm_grouped_with};
@@ -744,7 +755,16 @@ impl FaultReport {
         ]);
         let adv = json_object(&[
             ("drop_prob", format!("{}", self.adversary.drop_prob)),
+            ("dup_prob", format!("{}", self.adversary.dup_prob)),
+            ("reorder_prob", format!("{}", self.adversary.reorder_prob)),
+            ("corrupt_prob", format!("{}", self.adversary.corrupt_prob)),
             ("crash_prob", format!("{}", self.adversary.crash_prob)),
+            (
+                "restart_after",
+                self.adversary
+                    .restart_after
+                    .map_or("null".to_string(), |k| k.to_string()),
+            ),
             ("seed", self.adversary.seed.to_string()),
         ]);
         json_object(&[
@@ -770,6 +790,7 @@ pub fn fault_adversaries() -> Vec<Adversary> {
             drop_prob: 0.05,
             crash_prob: 0.01,
             seed: 73,
+            ..Adversary::default()
         },
     ]
 }

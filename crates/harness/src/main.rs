@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p harness [-- PATH] [--samples small|full]
+//!                                [--degradation PATH]
 //! ```
 //!
 //! Runs the full scenario matrix (see `congest_harness`), panicking on
@@ -9,15 +10,19 @@
 //! JSON-array ledger at `PATH` (default `QUALITY_engine.json`) — the
 //! same append-only convention as `BENCH_engine.json`, via the shared
 //! [`congest_bench::ledger`] module — and prints a summary table.
+//! The degradation grid (protocol × fault axis × intensity; see
+//! `congest_harness::degradation`) is appended to its own ledger at
+//! the `--degradation` path (default `DEGRADATION_engine.json`).
 //!
 //! `--samples small` sweeps one engine seed per cell (the CI smoke
 //! setting); `--samples full` (default) sweeps three.
 
 use congest_bench::Table;
-use congest_harness::{conformance_suite, fault_suite, SampleSize};
+use congest_harness::{conformance_suite, degradation_suite, fault_suite, SampleSize};
 
 fn main() {
     let mut out_path = "QUALITY_engine.json".to_string();
+    let mut degradation_path = "DEGRADATION_engine.json".to_string();
     let mut samples = SampleSize::Full;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -26,9 +31,15 @@ fn main() {
             samples = parse_samples(&v);
         } else if let Some(v) = arg.strip_prefix("--samples=") {
             samples = parse_samples(v);
+        } else if arg == "--degradation" {
+            degradation_path = args.next().expect("--degradation needs a path");
+        } else if let Some(v) = arg.strip_prefix("--degradation=") {
+            degradation_path = v.to_string();
         } else if arg.starts_with('-') {
             // Don't let a flag typo silently become the output path.
-            panic!("unknown flag {arg}; usage: harness [PATH] [--samples small|full]");
+            panic!(
+                "unknown flag {arg}; usage: harness [PATH] [--samples small|full] [--degradation PATH]"
+            );
         } else {
             out_path = arg;
         }
@@ -41,6 +52,8 @@ fn main() {
     let conformance = conformance_suite(samples);
     eprintln!("running fault-injection suite...");
     let faults = fault_suite();
+    eprintln!("running degradation grid...");
+    let degradation = degradation_suite();
 
     let mut table = Table::new(&[
         "protocol", "graph", "weights", "valid", "rounds", "budget", "ratio", "bound", "oracle",
@@ -86,16 +99,50 @@ fn main() {
     }
     fault_table.print();
 
+    let mut degradation_table = Table::new(&[
+        "protocol",
+        "graph",
+        "axis",
+        "dose",
+        "completed",
+        "decided",
+        "safe",
+        "ratio",
+        "bound_ok",
+        "rounds",
+    ]);
+    for r in &degradation {
+        degradation_table.row(vec![
+            r.protocol.to_string(),
+            r.topology.family.to_string(),
+            r.axis.name().to_string(),
+            format!("{}", r.dose),
+            r.completed.to_string(),
+            format!("{:.2}", r.decided_fraction),
+            r.safety_ok.to_string(),
+            format!("{:.3}", r.ratio),
+            r.bound_ok.to_string(),
+            r.rounds.to_string(),
+        ]);
+    }
+    degradation_table.print();
+
     let records: Vec<String> = conformance
         .iter()
         .map(|r| r.to_json())
         .chain(faults.iter().map(|r| r.to_json()))
         .collect();
     congest_bench::ledger::append_to_file(&out_path, &records);
+    let degradation_records: Vec<String> = degradation.iter().map(|r| r.to_json()).collect();
+    congest_bench::ledger::append_to_file(&degradation_path, &degradation_records);
     println!(
         "wrote {out_path}: {} conformance + {} fault records, all bounds held",
         conformance.len(),
         faults.len()
+    );
+    println!(
+        "wrote {degradation_path}: {} degradation records",
+        degradation.len()
     );
 }
 

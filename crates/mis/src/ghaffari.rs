@@ -162,9 +162,13 @@ impl Protocol for NearlyMaximalIs {
             0 => {
                 // Fold in Covered messages from the previous iteration,
                 // then announce the current probability exponent.
+                // Only `Covered` deactivates a port: under fault injection
+                // (delays, duplicates, reordering) other variants can arrive
+                // off-phase and must not be mistaken for coverage.
                 for (port, msg) in inbox {
-                    debug_assert_eq!(*msg, NmisMsg::Covered);
-                    self.active[port] = false;
+                    if *msg == NmisMsg::Covered {
+                        self.active[port] = false;
+                    }
                 }
                 if self.budget_exhausted() {
                     return Status::Halt(MisResult::Undecided);
@@ -177,13 +181,14 @@ impl Protocol for NearlyMaximalIs {
             1 => {
                 // Learn the effective degree, then mark with probability p.
                 let k = self.params.k;
+                // Fault-free every message here is a `PExp`; under the fault
+                // adversary stray variants may slip in — they contribute no
+                // effective degree.
                 self.effective_degree = inbox
                     .iter()
-                    .map(|(_, msg)| {
-                        let NmisMsg::PExp(j) = msg else {
-                            unreachable!("phase 1 only carries exponents")
-                        };
-                        k.powi(-i32::from(*j))
+                    .filter_map(|(_, msg)| {
+                        let NmisMsg::PExp(j) = msg else { return None };
+                        Some(k.powi(-i32::from(*j)))
                     })
                     .sum();
                 let p = self.p();

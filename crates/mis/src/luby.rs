@@ -83,9 +83,14 @@ impl Protocol for LubyMis {
                 // Announce: fold in Covered messages from the previous
                 // cycle, then either join (no competition left) or draw and
                 // send a fresh priority.
+                // Only `Covered` deactivates a port: under fault injection
+                // (delays, duplicates, reordering) stray `Priority`/`Joined`
+                // messages can arrive off-phase and must not be mistaken for
+                // coverage. Fault-free, every message here *is* `Covered`.
                 for (port, msg) in inbox {
-                    debug_assert_eq!(*msg, LubyMsg::Covered);
-                    self.active[port] = false;
+                    if *msg == LubyMsg::Covered {
+                        self.active[port] = false;
+                    }
                 }
                 if !self.has_active_neighbor() {
                     return Status::Halt(MisResult::InSet);
@@ -102,9 +107,10 @@ impl Protocol for LubyMis {
                 let me = (self.my_priority, ctx.id());
                 let mut won = true;
                 for (port, msg) in inbox {
-                    let LubyMsg::Priority(p) = msg else {
-                        unreachable!("decide phase only carries priorities")
-                    };
+                    // Fault-free this phase only carries priorities; under
+                    // the fault adversary a delayed or duplicated message of
+                    // another variant may slip in — ignore it.
+                    let LubyMsg::Priority(p) = msg else { continue };
                     let them: (u64, NodeId) = (*p, ctx.neighbor(port));
                     if them > me {
                         won = false;

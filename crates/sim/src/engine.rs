@@ -1,3 +1,4 @@
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use congest_graph::{Graph, NodeId};
@@ -5,8 +6,14 @@ use rand::rngs::SmallRng;
 use rayon::prelude::*;
 
 use crate::message::bits_for_count;
-use crate::rng::node_rng;
+use crate::rng::{node_rng, phase_seed};
+use crate::sched::AsyncScheduler;
 use crate::{Adversary, Context, Inbox, Message, NodeInfo, Protocol, Status};
+
+/// Phase tag mixed into the master seed for the RNG of a *restarted* node
+/// (self-stabilization mode), so its post-restart coin stream is fresh —
+/// independent of its pre-crash stream and of every other node's.
+const RESTART_STREAM_SALT: u64 = 0x8E57_A87E_D000_0009;
 
 /// Simulation configuration: model (bit budget) and safety limits.
 #[derive(Clone, Debug)]
@@ -23,12 +30,18 @@ pub struct SimConfig {
     /// delivery phase onto a sequential ascending-node-id path and disables
     /// active-slot compaction so trace order is reproducible.
     pub record_traces: bool,
-    /// Deterministic fault adversary (seeded message drops and node
-    /// crashes; see [`Adversary`]). `None` — the default everywhere — is
-    /// the fault-free engine the gnp-1000 fingerprints pin bit-identical;
+    /// Deterministic fault adversary (seeded message drops, duplication,
+    /// reordering, corruption, and node crashes with optional restart;
+    /// see [`Adversary`]). `None` — the default everywhere — is the
+    /// fault-free engine the gnp-1000 fingerprints pin bit-identical;
     /// the adversary's coin stream is keyed by its own seed, so enabling
     /// it never perturbs the protocol's RNG draws.
     pub adversary: Option<Adversary>,
+    /// Seeded asynchronous scheduler (see [`AsyncScheduler`]): each
+    /// delivered message gains a deterministic per-edge extra delay.
+    /// `None` — and any scheduler with `max_delay() == 0` — is the
+    /// synchronous engine, bit-identical to the fingerprinted path.
+    pub scheduler: Option<AsyncScheduler>,
 }
 
 impl SimConfig {
@@ -45,6 +58,7 @@ impl SimConfig {
             max_rounds: 1_000_000,
             record_traces: false,
             adversary: None,
+            scheduler: None,
         }
     }
 
@@ -55,6 +69,7 @@ impl SimConfig {
             max_rounds: 1_000_000,
             record_traces: false,
             adversary: None,
+            scheduler: None,
         }
     }
 
@@ -72,8 +87,30 @@ impl SimConfig {
 
     /// Returns the configuration with the given fault adversary enabled.
     pub fn with_adversary(mut self, adversary: Adversary) -> Self {
+        adversary.validate();
         self.adversary = Some(adversary);
         self
+    }
+
+    /// Returns the configuration with the given asynchronous scheduler
+    /// enabled.
+    pub fn with_scheduler(mut self, scheduler: AsyncScheduler) -> Self {
+        scheduler.validate();
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Re-checks adversary and scheduler parameters (for struct-literal
+    /// construction), panicking with a message that names the offending
+    /// field. [`Engine::build`] calls this, so no run can start on
+    /// silently mis-coining NaN or out-of-range probabilities.
+    pub fn validate(&self) {
+        if let Some(adv) = &self.adversary {
+            adv.validate();
+        }
+        if let Some(sched) = &self.scheduler {
+            sched.validate();
+        }
     }
 }
 
@@ -116,10 +153,28 @@ pub struct RunStats {
     /// crash-induced drops — check
     /// [`crashed_nodes`](Self::crashed_nodes) to attribute them).
     pub adversary_dropped_messages: u64,
-    /// Nodes crash-stopped by the configured [`Adversary`]. A crashed
-    /// node produces no output, so any run with `crashed_nodes > 0`
-    /// reports [`RunOutcome::completed`] = `false`.
+    /// Nodes crash-stopped by the configured [`Adversary`]. Without
+    /// restarts a crashed node produces no output, so any such run
+    /// reports [`RunOutcome::completed`] = `false`; in restart mode
+    /// ([`Adversary::restart_after`]) the node may still rejoin, halt,
+    /// and complete the run.
     pub crashed_nodes: u64,
+    /// Messages assigned a nonzero extra delay by the configured
+    /// [`AsyncScheduler`] (always 0 without one, or with a zero-delay
+    /// distribution).
+    pub delayed_messages: u64,
+    /// Messages re-delivered one round late by the [`Adversary`]'s
+    /// duplication coin.
+    pub duplicated_messages: u64,
+    /// Messages garbled in flight by the [`Adversary`]'s corruption coin
+    /// — whether the payload surfaced mutated or was discarded by the
+    /// modeled transport checksum (see [`Message::corrupted`]).
+    pub corrupted_messages: u64,
+    /// Crashed nodes that rejoined with reset state
+    /// ([`Adversary::restart_after`] self-stabilization mode). A node
+    /// crashing twice counts twice, in both this and
+    /// [`crashed_nodes`](Self::crashed_nodes).
+    pub restarted_nodes: u64,
 }
 
 /// Result of running a protocol to completion (or to the round cap).
@@ -130,7 +185,10 @@ pub struct RunOutcome<O> {
     pub outputs: Vec<Option<O>>,
     /// Aggregate statistics.
     pub stats: RunStats,
-    /// Whether every node halted before the round cap.
+    /// Whether every node produced an output — halted before the round
+    /// cap and was not lost to a permanent crash. (In restart mode a
+    /// crashed node can rejoin and still halt, so `crashed_nodes > 0`
+    /// does not by itself preclude completion.)
     pub completed: bool,
     /// Message traces, if [`SimConfig::record_traces`] was set.
     pub traces: Vec<MessageTrace>,
@@ -199,6 +257,10 @@ struct NodeSlot<'g, P: Protocol> {
     /// cannot observe a half-updated round.
     pending_halt: Option<P::Output>,
     active: bool,
+    /// Set when the node rejoins after a crash (restart mode): its next
+    /// compute phase runs `init` — with the current round number — instead
+    /// of `round`, exactly like a node booting with reset state.
+    needs_init: bool,
 }
 
 /// Raw shared handle to one message plane: a flat `Option<M>` array of
@@ -270,11 +332,32 @@ impl<M> PlanePtr<M> {
     }
 }
 
-/// The send and receive planes of a run, handed to the compute and
-/// delivery phases together.
+/// The send plane and the *ring* of receive planes of a run, handed to
+/// the compute and delivery phases together.
+///
+/// Synchronous runs use a ring of one plane — exactly the two-plane
+/// engine the fingerprints pin. An [`AsyncScheduler`] with maximum delay
+/// `d` (plus one extra plane when the duplication adversary is on, whose
+/// copies trail originals by a round) widens the ring to `d + 1 (+ 1)`
+/// planes indexed by *arrival round* modulo the ring length: delivery in
+/// round `r` writes arrivals `r + 1 ..= r + 1 + d (+ 1)`, and the compute
+/// phase of round `t` reads (and clears) plane `t % len`, so a plane is
+/// always drained before the ring cycles back onto it.
 struct Planes<M> {
     send: PlanePtr<M>,
-    recv: PlanePtr<M>,
+    recv: Vec<PlanePtr<M>>,
+    /// Inbox-reordering adversary, pre-filtered to `None` when it cannot
+    /// fire; consulted by the compute phase, which permutes its own
+    /// (exclusively held) inbox row before reading it.
+    reorder: Option<Adversary>,
+}
+
+impl<M> Planes<M> {
+    /// The receive plane messages arriving in `arrival_round` land in.
+    #[inline]
+    fn recv_for(&self, arrival_round: usize) -> &PlanePtr<M> {
+        &self.recv[arrival_round % self.recv.len()]
+    }
 }
 
 /// Read-only context the delivery phase needs besides the slots.
@@ -285,13 +368,17 @@ struct DeliverArgs<'a> {
     alive: &'a [bool],
     /// [`SimConfig::bit_budget`].
     bit_budget: Option<usize>,
-    /// The round being delivered, so adversary drop coins can be keyed by
-    /// `(round, from, to)` — a pure function, independent of delivery
-    /// order and parallel chunking.
+    /// The round being delivered, so adversary and scheduler coins can be
+    /// keyed by `(round, from, to)` — pure functions, independent of
+    /// delivery order and parallel chunking.
     round: usize,
-    /// Message-drop adversary, pre-filtered to `None` when it cannot fire
-    /// so the fault-free hot path tests one `Option` discriminant only.
-    drop_adversary: Option<Adversary>,
+    /// Per-message fault adversary (drop / duplicate / corrupt coins),
+    /// pre-filtered to `None` when none of those can fire so the
+    /// fault-free hot path tests one `Option` discriminant only.
+    adversary: Option<Adversary>,
+    /// Asynchronous delay scheduler, pre-filtered to `None` when its
+    /// maximum delay is zero (the synchronous case).
+    scheduler: Option<AsyncScheduler>,
 }
 
 /// Per-chunk statistics accumulator for the delivery phase; merged into
@@ -304,6 +391,9 @@ struct Tally {
     budget_violations: u64,
     dropped_messages: u64,
     adversary_dropped_messages: u64,
+    delayed_messages: u64,
+    duplicated_messages: u64,
+    corrupted_messages: u64,
 }
 
 /// Below this many active slots, `run_parallel` steps and delivers inline:
@@ -347,6 +437,10 @@ pub struct Engine<'g, P: Protocol> {
     config: SimConfig,
     infos: Vec<NodeInfo<'g>>,
     nodes: Vec<P>,
+    /// Kept beyond `build` for the restart adversary, which re-instantiates
+    /// a rejoining node's protocol from scratch (self-stabilization:
+    /// restarted nodes boot with reset state, not a snapshot).
+    factory: Box<dyn FnMut(&NodeInfo<'g>) -> P + 'g>,
 }
 
 impl<'g, P: Protocol> Engine<'g, P> {
@@ -361,8 +455,9 @@ impl<'g, P: Protocol> Engine<'g, P> {
     pub fn build(
         graph: &'g Graph,
         config: SimConfig,
-        mut factory: impl FnMut(&NodeInfo<'g>) -> P,
+        mut factory: impl FnMut(&NodeInfo<'g>) -> P + 'g,
     ) -> Self {
+        config.validate();
         let n = graph.num_nodes();
         let max_degree = graph.max_degree();
         let max_node_weight = graph.max_node_weight();
@@ -386,6 +481,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
             config,
             infos,
             nodes,
+            factory: Box::new(factory),
         }
     }
 
@@ -469,6 +565,9 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 let budget_violations = AtomicU64::new(0);
                 let dropped_messages = AtomicU64::new(0);
                 let adversary_dropped = AtomicU64::new(0);
+                let delayed_messages = AtomicU64::new(0);
+                let duplicated_messages = AtomicU64::new(0);
+                let corrupted_messages = AtomicU64::new(0);
                 let chunk = slots.len().div_ceil(threads).max(1);
                 slots.par_chunks_mut(chunk).for_each(|chunk| {
                     let tally = Self::deliver_all(chunk, planes, args);
@@ -481,6 +580,9 @@ impl<'g, P: Protocol> Engine<'g, P> {
                     dropped_messages.fetch_add(tally.dropped_messages, Ordering::Relaxed);
                     adversary_dropped
                         .fetch_add(tally.adversary_dropped_messages, Ordering::Relaxed);
+                    delayed_messages.fetch_add(tally.delayed_messages, Ordering::Relaxed);
+                    duplicated_messages.fetch_add(tally.duplicated_messages, Ordering::Relaxed);
+                    corrupted_messages.fetch_add(tally.corrupted_messages, Ordering::Relaxed);
                 });
                 Tally {
                     total_messages: total_messages.into_inner(),
@@ -488,6 +590,9 @@ impl<'g, P: Protocol> Engine<'g, P> {
                     budget_violations: budget_violations.into_inner(),
                     dropped_messages: dropped_messages.into_inner(),
                     adversary_dropped_messages: adversary_dropped.into_inner(),
+                    delayed_messages: delayed_messages.into_inner(),
+                    duplicated_messages: duplicated_messages.into_inner(),
+                    corrupted_messages: corrupted_messages.into_inner(),
                 }
             },
         )
@@ -506,6 +611,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
         let n = self.graph.num_nodes();
         let graph = self.graph;
         let config = self.config;
+        let mut factory = self.factory;
         let row_offsets = graph.row_offsets();
         let mut slots: Vec<NodeSlot<'g, P>> = self
             .nodes
@@ -519,28 +625,55 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 info,
                 pending_halt: None,
                 active: true,
+                needs_init: false,
             })
             .collect();
-        // The two message planes: every buffer of the round loop is
-        // allocated here, once; rounds only move messages through them.
+        // Fault machinery, pre-filtered so the fault-free loop tests one
+        // `Option` discriminant per hook and allocates nothing extra: a
+        // zero-delay scheduler and an all-zero adversary take exactly the
+        // fingerprinted synchronous path.
+        let adversary = config.adversary.filter(Adversary::is_active);
+        let scheduler = config.scheduler.filter(|s| s.max_delay() > 0);
+        let dup_on = adversary.is_some_and(|a| a.dup_prob > 0.0);
+        let restart_after = adversary
+            .filter(|a| a.crash_prob > 0.0)
+            .and_then(|a| a.restart_after);
+        // The send plane and the receive-plane ring: every buffer of the
+        // round loop is allocated here, once; rounds only move messages
+        // through them. Ring sizing: arrivals span `round + 1` through
+        // `round + 1 + max_delay` (+1 more for duplicate copies, which
+        // trail their originals by a round).
+        let ring_len = scheduler.map_or(0, |s| s.max_delay()) + 1 + usize::from(dup_on);
         let plane_len = row_offsets[n] as usize;
         let mut send_plane: Vec<Option<P::Msg>> = Vec::new();
         send_plane.resize_with(plane_len, || None);
-        let mut recv_plane: Vec<Option<P::Msg>> = Vec::new();
-        recv_plane.resize_with(plane_len, || None);
+        let mut recv_planes: Vec<Vec<Option<P::Msg>>> = (0..ring_len)
+            .map(|_| {
+                let mut plane: Vec<Option<P::Msg>> = Vec::new();
+                plane.resize_with(plane_len, || None);
+                plane
+            })
+            .collect();
         let planes = Planes {
             send: PlanePtr::new(&mut send_plane),
-            recv: PlanePtr::new(&mut recv_plane),
+            recv: recv_planes.iter_mut().map(PlanePtr::new).collect(),
+            reorder: adversary.filter(|a| a.reorder_prob > 0.0),
         };
         let mut outputs: Vec<Option<P::Output>> = vec![None; n];
         let mut alive = vec![true; n];
         let mut active_count = n;
         // Slots `0..active_len` are the (compacted) active prefix; tracing
-        // disables compaction so delivery can walk ascending node ids.
-        let compact = !config.record_traces;
+        // disables compaction so delivery can walk ascending node ids, and
+        // restart mode disables it so a rejoining node can be found at
+        // slot index == node id.
+        let compact = !config.record_traces && restart_after.is_none();
         let mut active_len = n;
         let mut stats = RunStats::default();
         let mut traces = Vec::new();
+        // Crashed nodes awaiting their restart round, in due-round order
+        // (crashes are discovered in ascending rounds, so plain FIFO
+        // pushes keep the queue monotone).
+        let mut restart_queue: VecDeque<(usize, u32)> = VecDeque::new();
 
         // Round 0: init (no inboxes yet, halting is not possible).
         compute(&mut slots[..active_len], 0, &planes);
@@ -560,23 +693,66 @@ impl<'g, P: Protocol> Engine<'g, P> {
             &deliver,
         );
 
-        while active_count > 0 && stats.rounds < config.max_rounds {
+        while (active_count > 0 || !restart_queue.is_empty()) && stats.rounds < config.max_rounds {
             stats.rounds += 1;
             let round = stats.rounds;
+            // Self-stabilization: crashed nodes whose downtime has elapsed
+            // rejoin *before* this round's crash coins, with factory-fresh
+            // protocol state and a fresh RNG stream (keyed by the rejoin
+            // round, so a node crashing twice gets two distinct streams).
+            // Compaction is off in restart mode, so slot index == node id.
+            while restart_queue.front().is_some_and(|&(due, _)| due <= round) {
+                let (_, v) = restart_queue.pop_front().expect("front checked");
+                let slot = &mut slots[v as usize];
+                let info = slot.info;
+                slot.proto = factory(&info);
+                slot.rng = node_rng(
+                    phase_seed(seed, RESTART_STREAM_SALT.wrapping_add(round as u64)),
+                    info.id,
+                );
+                slot.pending_halt = None;
+                slot.needs_init = true;
+                slot.active = true;
+                alive[v as usize] = true;
+                active_count += 1;
+                stats.restarted_nodes += 1;
+            }
             // Crash adversary: decided before the compute phase, per node,
             // by a coin pure in (round, id) — so the schedule cannot
             // depend on slot order, compaction, or parallel chunking. A
             // crashed node is inert from this round on: it neither
             // computes nor sends, produces no output, and `alive` makes
-            // delivery drop everything addressed to it. (Rounds ≥ 1 only:
-            // every node is guaranteed its `init`.)
-            if let Some(adv) = config.adversary.filter(|a| a.crash_prob > 0.0) {
+            // delivery drop everything addressed to it — until its restart
+            // round, if the adversary grants one. (Rounds ≥ 1 only: every
+            // node is guaranteed its first `init`.)
+            if let Some(adv) = adversary.filter(|a| a.crash_prob > 0.0) {
                 for slot in slots[..active_len].iter_mut() {
                     if slot.active && adv.crashes(round, slot.info.id) {
                         slot.active = false;
                         alive[slot.info.id.index()] = false;
                         active_count -= 1;
                         stats.crashed_nodes += 1;
+                        if let Some(k) = restart_after {
+                            restart_queue.push_back((round + k, slot.info.id.0));
+                            // Wipe the node's in-flight arrivals across the
+                            // whole ring: a restarted node boots with an
+                            // empty inbox, and pre-crash stragglers count
+                            // as lost to the crash.
+                            let start = slot.row_start as usize;
+                            let degree = slot.info.degree();
+                            for plane in &planes.recv {
+                                // SAFETY: this is the sequential section of
+                                // the round loop — no worker holds any
+                                // plane reference — and each node's rows
+                                // are disjoint from every other node's.
+                                let row = unsafe { plane.row_mut(start, degree) };
+                                for cell in row.iter_mut() {
+                                    if cell.take().is_some() {
+                                        stats.dropped_messages += 1;
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -599,8 +775,13 @@ impl<'g, P: Protocol> Engine<'g, P> {
         }
 
         RunOutcome {
+            // Complete ⇔ every node halted with an output. (Equivalent to
+            // the historical `active_count == 0 && crashed_nodes == 0` in
+            // crash-stop mode — only halting clears `active` with an
+            // output — but also correct in restart mode, where a crashed
+            // node can rejoin and still halt.)
+            completed: outputs.iter().all(Option::is_some),
             outputs,
-            completed: active_count == 0 && stats.crashed_nodes == 0,
             stats,
             traces,
         }
@@ -622,13 +803,16 @@ impl<'g, P: Protocol> Engine<'g, P> {
         // to the row (the compute phase hands each slot to exactly one
         // worker).
         let send_row = unsafe { planes.send.row_mut(start, degree) };
-        // SAFETY: same row-disjointness argument, on the receive plane.
-        let recv_row = unsafe { planes.recv.row_mut(start, degree) };
+        // SAFETY: same row-disjointness argument, on this round's receive
+        // plane (ring position `round % len`; delivery never writes the
+        // current round's plane, only future arrivals).
+        let recv_row = unsafe { planes.recv_for(round).row_mut(start, degree) };
         let NodeSlot {
             proto,
             info,
             rng,
             pending_halt,
+            needs_init,
             ..
         } = slot;
         let mut ctx = Context {
@@ -637,13 +821,32 @@ impl<'g, P: Protocol> Engine<'g, P> {
             round,
             outbox: send_row,
         };
-        if round == 0 {
+        if round == 0 || *needs_init {
+            // Round 0, or the node is rejoining after a crash (restart
+            // mode): boot with reset state. Stragglers were wiped at crash
+            // time, so the inbox below is empty either way.
+            *needs_init = false;
             proto.init(&mut ctx);
-        } else if let Status::Halt(out) = proto.round(&mut ctx, Inbox::new(recv_row)) {
-            *pending_halt = Some(out);
+        } else {
+            if let Some(adv) = &planes.reorder {
+                if degree > 1 && adv.reorders_inbox(round, info.id) {
+                    // In-place Fisher–Yates over the port-indexed row,
+                    // keyed purely by (round, node, step): messages
+                    // surface out of port order, misattributed to the
+                    // wrong neighbors — and identically so under any
+                    // execution order, since the row is exclusively ours.
+                    for i in (1..degree).rev() {
+                        let j = (adv.shuffle_coin(round, info.id, i) % (i as u64 + 1)) as usize;
+                        recv_row.swap(i, j);
+                    }
+                }
+            }
+            if let Status::Halt(out) = proto.round(&mut ctx, Inbox::new(recv_row)) {
+                *pending_halt = Some(out);
+            }
         }
-        // Consume this round's inbox so next round's delivery starts from
-        // an empty row.
+        // Consume this round's inbox so the plane's next turn in the ring
+        // starts from an empty row.
         for cell in recv_row.iter_mut() {
             *cell = None;
         }
@@ -668,7 +871,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
         // drained by exactly one worker.
         let send_row = unsafe { planes.send.row_mut(start, degree) };
         for (port, cell) in send_row.iter_mut().enumerate() {
-            let Some(msg) = cell.take() else { continue };
+            let Some(mut msg) = cell.take() else { continue };
             let bits = msg.bit_size();
             tally.total_messages += 1;
             tally.max_message_bits = tally.max_message_bits.max(bits);
@@ -681,27 +884,85 @@ impl<'g, P: Protocol> Engine<'g, P> {
             on_message(slot.info.id, to, bits);
             if !args.alive[to.index()] {
                 tally.dropped_messages += 1;
-            } else if args
-                .drop_adversary
-                .is_some_and(|adv| adv.drops_message(args.round, slot.info.id, to))
-            {
-                // Lost in flight: the receiver is alive but never sees it.
-                // The coin is pure in (round, from, to), so the schedule
-                // is identical under any delivery order or chunking.
-                tally.adversary_dropped_messages += 1;
-            } else {
-                let back = slot.reverse_port[port] as usize;
-                // SAFETY: `row_offsets[to] + back` addresses the cell of
-                // the directed edge (sender → to); reverse ports are a
-                // bijection on directed edges, so no other sender (on any
-                // thread) writes this cell, and nothing reads the receive
-                // plane during delivery.
-                unsafe {
-                    *planes
-                        .recv
-                        .cell_mut(args.row_offsets[to.index()] as usize + back) = Some(msg);
+                continue;
+            }
+            if let Some(adv) = args.adversary {
+                if adv.drops_message(args.round, slot.info.id, to) {
+                    // Lost in flight: the receiver is alive but never sees
+                    // it. Every coin here is pure in (round, from, to), so
+                    // the schedule is identical under any delivery order
+                    // or chunking.
+                    tally.adversary_dropped_messages += 1;
+                    continue;
+                }
+                if adv.corrupts_message(args.round, slot.info.id, to) {
+                    tally.corrupted_messages += 1;
+                    // The payload type decides whether corruption surfaces
+                    // as a mutated value or as a checksum discard; the
+                    // budget metered what the sender transmitted, before
+                    // the garbling.
+                    let entropy = adv.corruption_entropy(args.round, slot.info.id, to);
+                    match msg.corrupted(entropy) {
+                        Some(garbled) => msg = garbled,
+                        None => continue,
+                    }
                 }
             }
+            // Synchronous arrival is the next round; an async scheduler
+            // adds a pure per-edge delay on top.
+            let delay = match args.scheduler {
+                Some(sched) => {
+                    let d = sched.delay(args.round, slot.info.id, to);
+                    if d > 0 {
+                        tally.delayed_messages += 1;
+                    }
+                    d
+                }
+                None => 0,
+            };
+            let cell_idx = args.row_offsets[to.index()] as usize + slot.reverse_port[port] as usize;
+            if args
+                .adversary
+                .is_some_and(|adv| adv.duplicates_message(args.round, slot.info.id, to))
+            {
+                // The duplicate trails the original by exactly one round:
+                // a distinct ring plane (the ring is one plane longer when
+                // duplication is on), so each (plane, cell) pair is still
+                // written by at most one sender within this phase.
+                tally.duplicated_messages += 1;
+                Self::place_message(planes, args.round + 2 + delay, cell_idx, msg.clone(), tally);
+            }
+            Self::place_message(planes, args.round + 1 + delay, cell_idx, msg, tally);
+        }
+    }
+
+    /// Writes one message into the receive-plane ring at its arrival
+    /// round's cell for the directed edge `cell_idx`, counting a
+    /// collision — two in-flight messages of one directed edge converging
+    /// on the same arrival round, where the later-sent one wins — as a
+    /// lost message. Collisions cannot occur in synchronous (zero-delay)
+    /// mode: every edge delivers at most one message per phase and the
+    /// receiver drains its row each round.
+    #[inline]
+    fn place_message(
+        planes: &Planes<P::Msg>,
+        arrival_round: usize,
+        cell_idx: usize,
+        msg: P::Msg,
+        tally: &mut Tally,
+    ) {
+        // SAFETY: `cell_idx` addresses the cell of one directed edge
+        // (sender → to); reverse ports are a bijection on directed edges,
+        // so within this delivery phase no other sender (on any thread)
+        // writes any plane's copy of this cell — and the original and
+        // duplicate of this edge target planes of *different* arrival
+        // rounds. Nothing reads the receive planes during delivery. A
+        // previous phase's occupant (a slower message from an earlier
+        // round) is only ever observed and replaced here, by the one
+        // worker that owns the edge this phase.
+        let cell = unsafe { planes.recv_for(arrival_round).cell_mut(cell_idx) };
+        if cell.replace(msg).is_some() {
+            tally.dropped_messages += 1;
         }
     }
 
@@ -754,7 +1015,8 @@ impl<'g, P: Protocol> Engine<'g, P> {
             alive,
             bit_budget: config.bit_budget,
             round,
-            drop_adversary: config.adversary.filter(|a| a.drop_prob > 0.0),
+            adversary: config.adversary.filter(Adversary::affects_delivery),
+            scheduler: config.scheduler.filter(|s| s.max_delay() > 0),
         };
         let tally = if config.record_traces {
             // Tracing pins delivery to ascending node-id order (compaction
@@ -773,6 +1035,9 @@ impl<'g, P: Protocol> Engine<'g, P> {
         stats.budget_violations += tally.budget_violations;
         stats.dropped_messages += tally.dropped_messages;
         stats.adversary_dropped_messages += tally.adversary_dropped_messages;
+        stats.delayed_messages += tally.delayed_messages;
+        stats.duplicated_messages += tally.duplicated_messages;
+        stats.corrupted_messages += tally.corrupted_messages;
         if !compact {
             return active_len;
         }
@@ -836,7 +1101,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
 pub fn run_protocol<'g, P: Protocol>(
     graph: &'g Graph,
     config: SimConfig,
-    factory: impl FnMut(&NodeInfo<'g>) -> P,
+    factory: impl FnMut(&NodeInfo<'g>) -> P + 'g,
     seed: u64,
 ) -> RunOutcome<P::Output> {
     Engine::build(graph, config, factory).run(seed)
@@ -1318,11 +1583,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(31);
         let g = generators::gnp(200, 0.04, &mut rng);
         let plain = SimConfig::congest_for(&g).with_traces();
-        let zeroed = plain.clone().with_adversary(Adversary {
-            drop_prob: 0.0,
-            crash_prob: 0.0,
-            seed: 0xDEAD,
-        });
+        let zeroed = plain
+            .clone()
+            .with_adversary(Adversary::default().with_seed(0xDEAD));
         for seed in [2u64, 40] {
             let a = Engine::build(&g, plain.clone(), |_| gossip()).run(seed);
             let b = Engine::build(&g, zeroed.clone(), |_| gossip()).run(seed);
@@ -1340,6 +1603,7 @@ mod tests {
             drop_prob: 0.15,
             crash_prob: 0.01,
             seed: 77,
+            ..Adversary::default()
         };
         let config = SimConfig::congest_for(&g)
             .with_max_rounds(64)
@@ -1376,5 +1640,261 @@ mod tests {
             assert_eq!(seq.outputs, par.outputs);
             assert_eq!(seq.stats, par.stats);
         }
+    }
+
+    #[test]
+    fn zero_delay_scheduler_is_bit_identical_to_none() {
+        // The synchronous special case: a scheduler that cannot delay must
+        // leave outputs, stats, *and traces* untouched — the engine takes
+        // the single-plane path and draws no delay coins.
+        let mut rng = SmallRng::seed_from_u64(31);
+        let g = generators::gnp(200, 0.04, &mut rng);
+        let plain = SimConfig::congest_for(&g).with_traces();
+        let sched = plain
+            .clone()
+            .with_scheduler(AsyncScheduler::uniform(0, 0xBEEF));
+        for seed in [2u64, 40] {
+            let a = Engine::build(&g, plain.clone(), |_| gossip()).run(seed);
+            let b = Engine::build(&g, sched.clone(), |_| gossip()).run(seed);
+            assert_eq!(a.outputs, b.outputs);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.traces, b.traces);
+            assert_eq!(b.stats.delayed_messages, 0);
+        }
+    }
+
+    #[test]
+    fn delays_change_behavior_deterministically_and_in_parallel() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let g = generators::gnp(400, 0.02, &mut rng);
+        for sched in [
+            AsyncScheduler::uniform(3, 21),
+            AsyncScheduler::geometric(0.5, 6, 22),
+        ] {
+            let config = SimConfig::congest_for(&g)
+                .with_max_rounds(64)
+                .with_scheduler(sched);
+            let a = Engine::build(&g, config.clone(), |_| gossip()).run(5);
+            let b = Engine::build(&g, config.clone(), |_| gossip()).run(5);
+            let par = Engine::build(&g, config, |_| gossip()).run_parallel(5);
+            assert!(a.stats.delayed_messages > 0, "delays must fire");
+            assert_eq!(a.outputs, b.outputs, "delay schedules must replay");
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(
+                a.outputs, par.outputs,
+                "delays must be chunking-independent"
+            );
+            assert_eq!(a.stats, par.stats);
+            let clean = Engine::build(&g, SimConfig::congest_for(&g), |_| gossip()).run(5);
+            assert_ne!(a.outputs, clean.outputs, "delays must be observable");
+        }
+    }
+
+    #[test]
+    fn duplication_redelivers_a_round_late() {
+        // Census halts after its first exchange, so on a path the only
+        // effect of always-duplicate is the counter and the late copies
+        // landing at halted receivers (counted dropped).
+        let g = generators::path(3);
+        let config =
+            SimConfig::congest_for(&g).with_adversary(Adversary::message_duplicates(1.0, 4));
+        let outcome = run_protocol(&g, config, |_| Census { heard: Vec::new() }, 7);
+        assert!(outcome.completed);
+        assert_eq!(outcome.stats.total_messages, 4);
+        assert_eq!(outcome.stats.duplicated_messages, 4);
+        // Every node still hears each neighbor exactly once before halting.
+        assert_eq!(outcome.outputs[1].as_ref().unwrap().len(), 2);
+    }
+
+    /// Counts how many messages arrive per round, never halting — lets
+    /// tests observe duplicates and delays as receiver-side arrivals.
+    struct ArrivalCounter {
+        arrivals: Vec<usize>,
+    }
+    impl Protocol for ArrivalCounter {
+        type Msg = u32;
+        type Output = Vec<usize>;
+        fn init(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.broadcast(ctx.id().0);
+        }
+        fn round(
+            &mut self,
+            ctx: &mut Context<'_, u32>,
+            inbox: Inbox<'_, u32>,
+        ) -> Status<Vec<usize>> {
+            self.arrivals.push(inbox.len());
+            if ctx.round() >= 6 {
+                Status::Halt(self.arrivals.clone())
+            } else {
+                Status::Active
+            }
+        }
+    }
+
+    #[test]
+    fn duplicated_copies_arrive_exactly_one_round_after_originals() {
+        let g = generators::path(2);
+        let config = SimConfig::congest_for(&g)
+            .with_max_rounds(10)
+            .with_adversary(Adversary::message_duplicates(1.0, 4));
+        let outcome = run_protocol(&g, config, |_| ArrivalCounter { arrivals: vec![] }, 0);
+        assert!(outcome.completed);
+        // Only init broadcasts: original in round 1, duplicate in round 2.
+        for out in outcome.outputs {
+            assert_eq!(out.unwrap(), vec![1, 1, 0, 0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn corruption_discards_unmutatable_payloads_like_drops() {
+        // Census carries u32 payloads, which mutate (bit flip) rather than
+        // discard — neighbor lists change but everyone still hears degree
+        // many values. `()` payloads (InstantHalt) never send, so use
+        // Census for the mutation path and a bool echo for discards.
+        let g = generators::complete(4);
+        let config =
+            SimConfig::congest_for(&g).with_adversary(Adversary::message_corruption(1.0, 6));
+        let outcome = run_protocol(&g, config, |_| Census { heard: Vec::new() }, 7);
+        assert!(outcome.completed);
+        assert_eq!(outcome.stats.corrupted_messages, 12);
+        assert_eq!(outcome.stats.adversary_dropped_messages, 0);
+        // Bit-flipped ids still arrive: every node hears all 3 neighbors.
+        for out in outcome.outputs {
+            assert_eq!(out.unwrap().len(), 3);
+        }
+
+        /// Echoes `true` once; bool's `corrupted` defaults to checksum
+        /// discard, so under full corruption nobody hears anything.
+        struct BoolEcho;
+        impl Protocol for BoolEcho {
+            type Msg = bool;
+            type Output = usize;
+            fn init(&mut self, ctx: &mut Context<'_, bool>) {
+                ctx.broadcast(true);
+            }
+            fn round(
+                &mut self,
+                _ctx: &mut Context<'_, bool>,
+                inbox: Inbox<'_, bool>,
+            ) -> Status<usize> {
+                Status::Halt(inbox.len())
+            }
+        }
+        let config =
+            SimConfig::congest_for(&g).with_adversary(Adversary::message_corruption(1.0, 6));
+        let outcome = run_protocol(&g, config, |_| BoolEcho, 7);
+        assert_eq!(outcome.stats.corrupted_messages, 12);
+        assert!(outcome.outputs.into_iter().all(|o| o.unwrap() == 0));
+    }
+
+    #[test]
+    fn reordering_permutes_inboxes_without_losing_messages() {
+        let g = generators::complete(8);
+        let config = SimConfig::congest_for(&g).with_adversary(Adversary::inbox_reorders(1.0, 13));
+        let outcome = run_protocol(&g, config.clone(), |_| Census { heard: Vec::new() }, 7);
+        assert!(outcome.completed);
+        // Census sorts what it heard, so the permutation is invisible in
+        // outputs — nothing may be lost or duplicated by a shuffle.
+        for out in &outcome.outputs {
+            assert_eq!(out.as_ref().unwrap().len(), 7);
+        }
+        // But gossip folds port indices into its hash, so a shuffled run
+        // must diverge from the clean one — deterministically.
+        let mut rng = SmallRng::seed_from_u64(23);
+        let g = generators::gnp(300, 0.03, &mut rng);
+        let shuffled = SimConfig::congest_for(&g)
+            .with_max_rounds(64)
+            .with_adversary(Adversary::inbox_reorders(0.5, 13));
+        let a = Engine::build(&g, shuffled.clone(), |_| gossip()).run(5);
+        let b = Engine::build(&g, shuffled.clone(), |_| gossip()).run(5);
+        let par = Engine::build(&g, shuffled, |_| gossip()).run_parallel(5);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.outputs, par.outputs);
+        assert_eq!(a.stats, par.stats);
+        let clean = Engine::build(&g, SimConfig::congest_for(&g), |_| gossip()).run(5);
+        assert_ne!(a.outputs, clean.outputs, "reordering must be observable");
+    }
+
+    #[test]
+    fn restarted_nodes_rejoin_and_can_complete_the_run() {
+        // Gossip halts once `round >= deadline ≤ 8`, so even a node that
+        // restarts late halts promptly after rejoining: with moderate
+        // crashes plus restart-after-2, the run must eventually complete
+        // with every output present despite crashed_nodes > 0.
+        let g = generators::cycle(20);
+        let config = SimConfig::congest_for(&g)
+            .with_max_rounds(5_000)
+            .with_adversary(Adversary::node_crashes(0.05, 3).with_restart_after(2));
+        let a = Engine::build(&g, config.clone(), |_| gossip()).run(9);
+        assert!(
+            a.stats.crashed_nodes > 0,
+            "5% crashes over 20 nodes must fire"
+        );
+        assert_eq!(
+            a.stats.crashed_nodes, a.stats.restarted_nodes,
+            "with completion, every crash was followed by a restart"
+        );
+        assert!(a.completed, "restart mode must let the run complete");
+        assert!(a.outputs.iter().all(Option::is_some));
+        // Replay + parallel identity under restart.
+        let b = Engine::build(&g, config.clone(), |_| gossip()).run(9);
+        let par = Engine::build(&g, config, |_| gossip()).run_parallel(9);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.outputs, par.outputs);
+        assert_eq!(a.stats, par.stats);
+        // Without restart, the same crash schedule leaves holes.
+        let crash_only = SimConfig::congest_for(&g)
+            .with_max_rounds(5_000)
+            .with_adversary(Adversary::node_crashes(0.05, 3));
+        let c = Engine::build(&g, crash_only, |_| gossip()).run(9);
+        assert!(!c.completed);
+        assert_eq!(c.stats.restarted_nodes, 0);
+    }
+
+    #[test]
+    fn every_knob_at_once_replays_and_parallelizes() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let g = generators::gnp(300, 0.03, &mut rng);
+        let adv = Adversary {
+            drop_prob: 0.05,
+            dup_prob: 0.1,
+            reorder_prob: 0.2,
+            corrupt_prob: 0.05,
+            crash_prob: 0.01,
+            restart_after: Some(3),
+            seed: 99,
+        };
+        let config = SimConfig::congest_for(&g)
+            .with_max_rounds(128)
+            .with_scheduler(AsyncScheduler::uniform(2, 55))
+            .with_adversary(adv);
+        let a = Engine::build(&g, config.clone(), |_| gossip()).run(5);
+        let b = Engine::build(&g, config.clone(), |_| gossip()).run(5);
+        let par = Engine::build(&g, config, |_| gossip()).run_parallel(5);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.outputs, par.outputs);
+        assert_eq!(a.stats, par.stats, "all knobs must be chunking-independent");
+        assert!(a.stats.delayed_messages > 0);
+        assert!(a.stats.duplicated_messages > 0);
+        assert!(a.stats.corrupted_messages > 0);
+        assert!(a.stats.adversary_dropped_messages > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Adversary::crash_prob")]
+    fn engine_build_rejects_mis_coined_struct_literals() {
+        let g = generators::path(2);
+        let config = SimConfig::local().with_max_rounds(4);
+        let config = SimConfig {
+            adversary: Some(Adversary {
+                crash_prob: f64::NAN,
+                ..Adversary::default()
+            }),
+            ..config
+        };
+        let _ = Engine::build(&g, config, |_| Forever);
     }
 }

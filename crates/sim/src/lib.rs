@@ -18,11 +18,17 @@
 //!   [`RunStats::budget_violations`]).
 //! * Reproducibility — every node derives its own RNG from the master seed
 //!   via [`rng::node_rng`], so runs are bit-for-bit repeatable.
-//! * Fault injection — an optional seeded [`Adversary`] drops messages in
-//!   flight and crash-stops nodes, with every decision a pure function of
-//!   the adversary seed and the event's coordinates, so fault schedules
-//!   replay bit-identically too (see the [`fault`](Adversary) docs). Off
-//!   by default, with zero behavior change when disabled.
+//! * Fault injection — an optional seeded [`Adversary`] drops, duplicates,
+//!   reorders, and corrupts messages in flight and crash-stops nodes
+//!   (optionally restarting them with reset state), with every decision a
+//!   pure function of the adversary seed and the event's coordinates, so
+//!   fault schedules replay bit-identically too (see the
+//!   [`fault`](Adversary) docs). Off by default, with zero behavior change
+//!   when disabled.
+//! * Asynchrony — an optional seeded [`AsyncScheduler`] gives each
+//!   delivered message a deterministic per-edge extra delay drawn from a
+//!   configurable [`DelayDist`]; the synchronous engine is the zero-delay
+//!   special case (see the [`sched`](AsyncScheduler) docs).
 //!
 //! Nodes address each other through *ports* (indices into their adjacency
 //! list); they know their own id, weight, degree, per-port edge weights and
@@ -85,6 +91,7 @@ mod fault;
 mod inbox;
 mod message;
 mod protocol;
+mod sched;
 
 pub mod rng;
 
@@ -94,3 +101,4 @@ pub use fault::Adversary;
 pub use inbox::{Inbox, InboxIter};
 pub use message::{bits_for_count, bits_for_value, Message};
 pub use protocol::{NodeInfo, Port, Protocol, Status};
+pub use sched::{AsyncScheduler, DelayDist, MAX_DELAY};

@@ -11,6 +11,23 @@ use std::fmt::Debug;
 pub trait Message: Clone + Debug {
     /// Size of this message in bits, for CONGEST accounting.
     fn bit_size(&self) -> usize;
+
+    /// How a corruption fault garbles this payload in flight.
+    ///
+    /// When the [`Adversary`](crate::Adversary)'s corruption coin fires,
+    /// the engine calls this with a deterministic `entropy` word.
+    /// Returning `Some(mutated)` delivers the garbled value to the
+    /// receiver; returning `None` — the default — models a transport
+    /// whose checksum catches the garbled frame and discards it (the
+    /// corruption then behaves like a drop). Either way the event counts
+    /// in [`RunStats::corrupted_messages`](crate::RunStats::corrupted_messages).
+    ///
+    /// Implementations must be pure in `(self, entropy)` so fault
+    /// schedules replay identically in `run` and `run_parallel`.
+    fn corrupted(&self, entropy: u64) -> Option<Self> {
+        let _ = entropy;
+        None
+    }
 }
 
 /// Number of bits needed to write the value `x` in binary (`0 → 1`).
@@ -60,11 +77,23 @@ impl Message for u32 {
     fn bit_size(&self) -> usize {
         bits_for_value(u64::from(*self))
     }
+
+    /// Raw integer payloads have no checksum to hide behind: corruption
+    /// surfaces as a single flipped bit at an entropy-chosen position.
+    fn corrupted(&self, entropy: u64) -> Option<Self> {
+        Some(self ^ (1u32 << (entropy % 32)))
+    }
 }
 
 impl Message for u64 {
     fn bit_size(&self) -> usize {
         bits_for_value(*self)
+    }
+
+    /// Raw integer payloads have no checksum to hide behind: corruption
+    /// surfaces as a single flipped bit at an entropy-chosen position.
+    fn corrupted(&self, entropy: u64) -> Option<Self> {
+        Some(self ^ (1u64 << (entropy % 64)))
     }
 }
 
@@ -161,6 +190,22 @@ mod tests {
             assert!(b >= prev);
             prev = b;
         }
+    }
+
+    #[test]
+    fn corruption_flips_one_bit_on_raw_integers_and_discards_elsewhere() {
+        // Structured payloads default to checksum-discard…
+        assert_eq!(true.corrupted(5), None);
+        assert_eq!(Some(7u64).corrupted(5), None);
+        assert_eq!(().corrupted(5), None);
+        // …raw integers flip exactly one entropy-chosen bit, purely.
+        let x = 0b1010_1100u64;
+        let y = x.corrupted(3).unwrap();
+        assert_eq!((x ^ y).count_ones(), 1);
+        assert_eq!(x.corrupted(3), x.corrupted(3));
+        assert_ne!(x.corrupted(0), x.corrupted(1));
+        let z = 7u32.corrupted(40).unwrap();
+        assert_eq!((7u32 ^ z).count_ones(), 1);
     }
 
     #[test]

@@ -30,6 +30,24 @@ pub fn phase_seed(master: u64, phase: u64) -> u64 {
     splitmix64(master.wrapping_add(splitmix64(phase)))
 }
 
+/// Chained SplitMix64 mix of four words — the *pure-coin* primitive
+/// behind every fault and delay decision: the [`Adversary`](crate::Adversary)
+/// and the [`AsyncScheduler`](crate::AsyncScheduler) hash an event's
+/// coordinates (round, endpoints) through this instead of drawing from a
+/// shared sequential RNG, so their schedules are independent of node
+/// processing order, slot compaction, and parallel chunking.
+#[inline]
+pub fn mix4(seed: u64, salt: u64, a: u64, b: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(seed ^ salt).wrapping_add(a)).wrapping_add(b))
+}
+
+/// A uniform coin in `[0, 1)` derived from four words via [`mix4`]
+/// (53 mantissa bits, like `rand`'s float conversion).
+#[inline]
+pub fn coin(seed: u64, salt: u64, a: u64, b: u64) -> f64 {
+    (mix4(seed, salt, a, b) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,7 +13,9 @@
 //! were updated in the same change.
 
 use congest_graph::generators;
-use congest_sim::{Adversary, Context, Engine, Inbox, Protocol, RunOutcome, SimConfig, Status};
+use congest_sim::{
+    Adversary, AsyncScheduler, Context, Engine, Inbox, Protocol, RunOutcome, SimConfig, Status,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -132,11 +134,7 @@ fn zero_probability_adversary_matches_recorded_fingerprints_too() {
     let g = gnp_1000();
     let config = SimConfig::congest_for(&g)
         .with_traces()
-        .with_adversary(Adversary {
-            drop_prob: 0.0,
-            crash_prob: 0.0,
-            seed: 0xFEED,
-        });
+        .with_adversary(Adversary::default().with_seed(0xFEED));
     for (seed, expected) in RECORDED {
         let outcome = Engine::build(&g, config.clone(), |_| gossip()).run(seed);
         assert_eq!(
@@ -145,6 +143,101 @@ fn zero_probability_adversary_matches_recorded_fingerprints_too() {
             "seed {seed}: zero-probability adversary perturbed the run"
         );
     }
+}
+
+#[test]
+fn zero_delay_scheduler_matches_recorded_fingerprints_too() {
+    // The async scheduler's synchronous special case, pinned at the
+    // public API: a uniform(0) scheduler *installed* must leave the ring
+    // of delivery planes degenerate and reproduce the recorded runs
+    // bit-for-bit, traces included.
+    let g = gnp_1000();
+    let config = SimConfig::congest_for(&g)
+        .with_traces()
+        .with_scheduler(AsyncScheduler::uniform(0, 0xFEED));
+    for (seed, expected) in RECORDED {
+        let outcome = Engine::build(&g, config.clone(), |_| gossip()).run(seed);
+        assert_eq!(
+            outcome.stats.delayed_messages, 0,
+            "a zero-delay scheduler must delay nothing"
+        );
+        assert_eq!(
+            outcome_hash(&outcome),
+            expected,
+            "seed {seed}: zero-delay scheduler perturbed the run"
+        );
+    }
+}
+
+#[test]
+fn every_fault_axis_replays_and_parallelizes_at_the_public_api() {
+    // One config per new knob (duplication, reordering, corruption,
+    // async delay, crash+restart): each must fire, replay bit-identically
+    // under the same seed, and agree between executors.
+    let g = gnp_1000();
+    let base = SimConfig::congest_for(&g).with_max_rounds(64);
+    let axes: Vec<(&str, SimConfig)> = vec![
+        (
+            "duplicate",
+            base.clone()
+                .with_adversary(Adversary::message_duplicates(0.2, 7)),
+        ),
+        (
+            "reorder",
+            base.clone()
+                .with_adversary(Adversary::inbox_reorders(0.5, 7)),
+        ),
+        (
+            "corrupt",
+            base.clone()
+                .with_adversary(Adversary::message_corruption(0.2, 7)),
+        ),
+        (
+            "delay",
+            base.clone().with_scheduler(AsyncScheduler::uniform(3, 7)),
+        ),
+        (
+            "restart",
+            base.clone()
+                .with_adversary(Adversary::node_crashes(0.01, 7).with_restart_after(2)),
+        ),
+    ];
+    for (name, config) in axes {
+        let a = Engine::build(&g, config.clone(), |_| gossip()).run(1);
+        let fired = match name {
+            "duplicate" => a.stats.duplicated_messages,
+            "reorder" => a.stats.total_messages, // reordering is not counted; just run it
+            "corrupt" => a.stats.corrupted_messages,
+            "delay" => a.stats.delayed_messages,
+            "restart" => a.stats.restarted_nodes,
+            _ => unreachable!(),
+        };
+        assert!(fired > 0, "{name}: the knob must fire on gnp-1000");
+        let b = Engine::build(&g, config.clone(), |_| gossip()).run(1);
+        assert_eq!(a.outputs, b.outputs, "{name}: schedules must replay");
+        assert_eq!(a.stats, b.stats, "{name}");
+        let par = Engine::build(&g, config, |_| gossip()).run_parallel(1);
+        assert_eq!(a.outputs, par.outputs, "{name}: executors must agree");
+        assert_eq!(a.stats, par.stats, "{name}");
+    }
+}
+
+#[test]
+fn restart_mode_revives_crashed_nodes_at_the_public_api() {
+    let g = gnp_1000();
+    let config = SimConfig::congest_for(&g)
+        .with_max_rounds(128)
+        .with_adversary(Adversary::node_crashes(0.02, 9).with_restart_after(2));
+    let outcome = Engine::build(&g, config, |_| gossip()).run(5);
+    assert!(outcome.stats.crashed_nodes > 0, "2% crashes must fire");
+    assert_eq!(
+        outcome.stats.crashed_nodes, outcome.stats.restarted_nodes,
+        "every crash before the run settles must be revived"
+    );
+    assert!(
+        outcome.completed,
+        "with restarts, the gossip run must still finish"
+    );
 }
 
 #[test]

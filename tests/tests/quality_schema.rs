@@ -63,7 +63,11 @@ fn ledger_is_an_array_covering_the_scenario_matrix() {
         "\"ratio_bound\":",
         "\"oracle\":",
         "\"drop_prob\":",
+        "\"dup_prob\":",
+        "\"reorder_prob\":",
+        "\"corrupt_prob\":",
         "\"crash_prob\":",
+        "\"restart_after\":",
         "\"decided_fraction\":",
         "\"safety_ok\":",
     ] {
