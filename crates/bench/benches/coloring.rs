@@ -32,7 +32,7 @@ fn bench_coloring(c: &mut Criterion) {
                         |_| RandomizedColoring::new(),
                         seed,
                     ))
-                })
+                });
             },
         );
     }

@@ -25,7 +25,7 @@ fn bench_fast_matching(c: &mut Criterion) {
                 b.iter(|| {
                     seed += 1;
                     black_box(mcm_two_plus_eps(g, 0.25, seed))
-                })
+                });
             },
         );
         group.bench_with_input(
@@ -36,7 +36,7 @@ fn bench_fast_matching(c: &mut Criterion) {
                 b.iter(|| {
                     seed += 1;
                     black_box(mwm_two_plus_eps(g, 0.25, seed))
-                })
+                });
             },
         );
         group.bench_with_input(
@@ -47,7 +47,7 @@ fn bench_fast_matching(c: &mut Criterion) {
                 b.iter(|| {
                     seed += 1;
                     black_box(mwm_lr_randomized(g, &Alg2Config::default(), seed))
-                })
+                });
             },
         );
     }

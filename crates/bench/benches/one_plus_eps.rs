@@ -23,7 +23,7 @@ fn bench_one_plus_eps(c: &mut Criterion) {
                 b.iter(|| {
                     seed += 1;
                     black_box(mcm_one_plus_eps_local(g, 0.34, seed))
-                })
+                });
             },
         );
         group.bench_with_input(
@@ -34,7 +34,7 @@ fn bench_one_plus_eps(c: &mut Criterion) {
                 b.iter(|| {
                     seed += 1;
                     black_box(mcm_one_plus_eps_congest(g, 0.5, seed))
-                })
+                });
             },
         );
         group.bench_with_input(

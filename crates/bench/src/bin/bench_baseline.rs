@@ -21,6 +21,11 @@
 //! relative to it: on a single-threaded host the parallel executor takes
 //! its documented inline fallback and matches `run` instead of beating it.
 
+// Wall-clock measurement and CLI parsing are this binary's entire job;
+// the workspace-wide ban (clippy.toml / congest-lint
+// no-ambient-nondeterminism) targets protocol code, not the bench tier.
+#![allow(clippy::disallowed_methods)]
+
 use congest_graph::generators;
 use congest_mis::LubyMis;
 use congest_sim::{Engine, SimConfig};

@@ -39,9 +39,9 @@ mod randomized;
 mod reduce;
 mod verify;
 
-pub use linial::{linial_schedule, LinialColoring, LinialStep};
+pub use linial::{linial_schedule, ColorMsg, LinialColoring, LinialStep};
 pub use pipeline::{deterministic_delta_plus_one, ColoringRun};
 pub use primes::next_prime;
-pub use randomized::RandomizedColoring;
-pub use reduce::{KwReduction, SimpleReduction};
+pub use randomized::{RandColorMsg, RandomizedColoring};
+pub use reduce::{KwReduction, RecolorMsg, SimpleReduction};
 pub use verify::{num_colors, verify_coloring};

@@ -250,21 +250,26 @@ pub fn token_marking<R: Rng + ?Sized>(
             }
         }
         // Collision pass: tokens sharing their current node all die.
-        let mut seen: std::collections::HashMap<NodeId, Vec<usize>> =
-            std::collections::HashMap::new();
-        for (i, tok) in tokens.iter().enumerate() {
-            if tok.alive {
-                seen.entry(*tok.path.last().expect("non-empty"))
-                    .or_default()
-                    .push(i);
+        // Sort-and-scan grouping keeps the pass free of hash-ordering.
+        let mut at: Vec<(NodeId, usize)> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, tok)| tok.alive)
+            .map(|(i, tok)| (*tok.path.last().expect("non-empty"), i))
+            .collect();
+        at.sort_unstable();
+        let mut start = 0;
+        while start < at.len() {
+            let mut end = start + 1;
+            while end < at.len() && at[end].0 == at[start].0 {
+                end += 1;
             }
-        }
-        for (_, group) in seen {
-            if group.len() > 1 {
-                for i in group {
+            if end - start > 1 {
+                for &(_, i) in &at[start..end] {
                     tokens[i].alive = false;
                 }
             }
+            start = end;
         }
     }
     tokens

@@ -25,9 +25,8 @@
 //! approximation guarantee is validated empirically in tests and benches.
 
 use congest_graph::{Bipartition, Graph, Matching};
-use congest_sim::rng::phase_seed;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use congest_sim::rng::phase_rng;
+use rand::Rng;
 
 use super::bipartite::{attenuated_sums, token_marking};
 
@@ -66,7 +65,7 @@ pub fn mcm_one_plus_eps_congest(g: &Graph, eps: f64, seed: u64) -> CongestHkRun 
     let mut good_rounds = vec![0usize; n];
     let mut flipped_total = 0usize;
     let mut rounds_estimate = 0usize;
-    let mut master = SmallRng::seed_from_u64(phase_seed(seed, 0xB3));
+    let mut master = phase_rng(seed, 0xB3);
 
     for stage in 0..stages {
         let sides: Vec<bool> = (0..n).map(|_| master.random_bool(0.5)).collect();
@@ -85,7 +84,7 @@ pub fn mcm_one_plus_eps_congest(g: &Graph, eps: f64, seed: u64) -> CongestHkRun 
                 }
             })
             .collect();
-        let mut stage_rng = SmallRng::seed_from_u64(phase_seed(seed, 1 + stage as u64));
+        let mut stage_rng = phase_rng(seed, 1 + stage as u64);
 
         for d in (1..=l_max).step_by(2) {
             // Fresh attenuations for this phase: 1/K at potential starts.
@@ -157,6 +156,8 @@ mod tests {
     use super::*;
     use congest_exact::blossom_maximum_matching;
     use congest_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
 
     #[test]
     fn one_plus_eps_against_blossom() {

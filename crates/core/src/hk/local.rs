@@ -13,9 +13,7 @@
 
 use congest_graph::{Graph, Matching};
 use congest_hypergraph::{nearly_maximal_matching, Hypergraph, NmmParams};
-use congest_sim::rng::phase_seed;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use congest_sim::rng::phase_rng;
 
 use super::paths::enumerate_augmenting_paths;
 
@@ -82,7 +80,7 @@ pub fn mcm_one_plus_eps_local(g: &Graph, eps: f64, seed: u64) -> LocalHkRun {
         let hyperedges: Vec<Vec<congest_graph::NodeId>> = paths.to_vec();
         let h = Hypergraph::new(g.num_nodes(), hyperedges);
         let params = NmmParams::default_for(&h, delta_fail);
-        let mut rng = SmallRng::seed_from_u64(phase_seed(seed, phase_idx as u64));
+        let mut rng = phase_rng(seed, phase_idx as u64);
         let outcome = nearly_maximal_matching(&h, &params, &mut rng);
 
         // Flip the matched (vertex-disjoint) paths.
@@ -125,6 +123,8 @@ mod tests {
     use super::*;
     use congest_exact::blossom_maximum_matching;
     use congest_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
 
     #[test]
     fn one_plus_eps_against_blossom() {

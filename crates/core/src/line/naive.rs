@@ -10,7 +10,7 @@
 //! the paper's Theorem 2.8 eliminates (`Θ(Δ)` for broadcast-style
 //! protocols).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use congest_graph::{EdgeId, Graph, NodeId};
 use congest_sim::{
@@ -153,7 +153,7 @@ pub fn naive_congestion(g: &Graph, traces: &[MessageTrace]) -> CongestionReport 
         }
     };
     // Key: (round, physical edge id, direction bit).
-    let mut load: HashMap<(usize, u32, bool), usize> = HashMap::new();
+    let mut load: BTreeMap<(usize, u32, bool), usize> = BTreeMap::new();
     let mut total_hops = 0u64;
     for t in traces {
         let (e1, e2) = (EdgeId(t.from.0), EdgeId(t.to.0));

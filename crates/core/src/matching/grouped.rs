@@ -40,7 +40,12 @@ use crate::weights::layer_of_signed;
 #[derive(Clone, Debug, PartialEq)]
 pub enum GroupedMsg {
     /// Phase 1 (primary → secondary): the edge's layer and priority.
-    Announce { layer: u32, prio: u64 },
+    Announce {
+        /// Weight layer of the sender's candidate edge.
+        layer: u32,
+        /// Random tiebreak priority drawn for this cycle.
+        prio: u64,
+    },
     /// Phase 2 (both directions): max `(layer, prio, tiebreak)` among the
     /// sender's *other* remaining incident edges, if any.
     ExcludeMax(Option<(u32, u64, u64)>),
@@ -50,7 +55,12 @@ pub enum GroupedMsg {
     /// Phase 4 (both directions): whether the sender's wait-set for this
     /// candidate edge has fully resolved, and whether the edge was killed
     /// at the sender's side by an adjacent edge joining the matching.
-    Resolve { side_clear: bool, killed: bool },
+    Resolve {
+        /// The sender's wait-set for this edge is fully resolved.
+        side_clear: bool,
+        /// An adjacent matched edge killed this edge at the sender.
+        killed: bool,
+    },
 }
 
 impl Message for GroupedMsg {

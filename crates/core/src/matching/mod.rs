@@ -17,7 +17,7 @@
 
 mod grouped;
 
-pub use grouped::{mwm_grouped, mwm_grouped_with};
+pub use grouped::{mwm_grouped, mwm_grouped_with, GroupedMsg};
 
 use congest_graph::{EdgeId, Graph, Matching};
 use congest_sim::RunStats;

@@ -67,10 +67,22 @@ impl Default for Alg2Config {
 pub enum Alg2Msg {
     /// Round-A announcement of a competing node (random-priority box):
     /// current layer and fresh priority.
-    Compete { layer: u32, prio: u64 },
+    Compete {
+        /// Sender's current weight layer.
+        layer: u32,
+        /// Random priority drawn for this cycle.
+        prio: u64,
+    },
     /// Round-A announcement (Ghaffari box): layer, probability exponent,
     /// and whether the node marked itself this cycle.
-    CompeteG { layer: u32, pexp: u16, marked: bool },
+    CompeteG {
+        /// Sender's current weight layer.
+        layer: u32,
+        /// Ghaffari marking-probability exponent (`p = 2^-pexp`).
+        pexp: u16,
+        /// Whether the sender marked itself this cycle.
+        marked: bool,
+    },
     /// Local-ratio step: subtract `amount` from your weight; the sender
     /// has become a candidate and leaves your logical neighborhood.
     Reduce(u64),
@@ -193,6 +205,7 @@ impl Protocol for Alg2Node {
             ctx.broadcast(Alg2Msg::Removed);
             return Status::Halt(false);
         }
+        // lint:allow(no-panic-in-round): `self.w > 0` is checked directly above, so `layer()` is `Some`
         let layer = self.layer().expect("alive nodes have positive weight");
         if ctx.round() % 2 == 1 {
             // Round A: announce layer + competition data on logical edges.

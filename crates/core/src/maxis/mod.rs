@@ -18,8 +18,8 @@ mod naive_parallel;
 mod seq_lr;
 mod verify;
 
-pub use alg2::{alg2, alg2_with, Alg2Config, MisBox};
-pub use alg3::{alg3, Alg3Run};
+pub use alg2::{alg2, alg2_with, Alg2Config, Alg2Msg, MisBox};
+pub use alg3::{alg3, Alg3Msg, Alg3Run};
 pub use naive_parallel::naive_parallel_lr;
 pub use seq_lr::{sequential_local_ratio, SelectionRule};
 pub use verify::{approx_ratio, check_independent, delta_bound_satisfied};

@@ -125,14 +125,14 @@ fn select(g: &Graph, rule: SelectionRule, remaining: &[NodeId], w: &[i64]) -> Ve
 
 fn greedy_mis_among(g: &Graph, nodes: &[NodeId]) -> Vec<NodeId> {
     let mut chosen = Vec::new();
-    let mut blocked = std::collections::HashSet::new();
+    let mut blocked = vec![false; g.num_nodes()];
     for &v in nodes {
-        if blocked.contains(&v) {
+        if blocked[v.index()] {
             continue;
         }
         chosen.push(v);
         for &u in g.neighbor_ids(v) {
-            blocked.insert(u);
+            blocked[u.index()] = true;
         }
     }
     chosen

@@ -13,7 +13,7 @@
 //! unmatched nodes, keep the found edges.
 
 use congest_graph::{Bipartition, Graph, GraphBuilder, Matching, NodeId};
-use congest_sim::rng::phase_seed;
+use congest_sim::rng::{phase_rng, phase_seed};
 use congest_sim::{run_protocol, Context, Inbox, Message, Port, Protocol, SimConfig, Status};
 use rand::Rng;
 
@@ -67,7 +67,10 @@ impl Protocol for ProposalNode {
                     match msg {
                         ProposalMsg::Accept => return Status::Halt(Some(ctx.neighbor(port))),
                         ProposalMsg::Taken => self.remaining[port] = false,
-                        ProposalMsg::Propose => unreachable!("left nodes never receive proposals"),
+                        // Left nodes never receive proposals in a clean
+                        // run; under corruption faults one may still
+                        // arrive — ignore it rather than abort.
+                        ProposalMsg::Propose => {}
                     }
                 }
                 if cycle > self.max_cycles {
@@ -93,11 +96,11 @@ impl Protocol for ProposalNode {
                 .filter(|&(_, m)| *m == ProposalMsg::Propose)
                 .map(|(p, _)| p)
                 .collect();
-            if proposers.is_empty() {
-                return Status::Active;
-            }
             proposers.sort_by_key(|&p| ctx.neighbor(p));
-            let winner = *proposers.last().expect("non-empty");
+            // Highest neighbor id wins; an empty inbox stays active.
+            let Some(&winner) = proposers.last() else {
+                return Status::Active;
+            };
             ctx.send(winner, ProposalMsg::Accept);
             for &p in &proposers {
                 if p != winner {
@@ -191,8 +194,7 @@ pub fn general_proposal(g: &Graph, eps: f64, seed: u64) -> ProposalRun {
     let reps = ((1.0 / eps).log2().ceil() as usize + 1).max(2);
     let mut matching = Matching::new(g);
     let mut rounds = 0;
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(phase_seed(seed, 0xB4));
-    use rand::SeedableRng;
+    let mut rng = phase_rng(seed, 0xB4);
     for rep in 0..reps {
         // Random red/blue coloring; keep unmatched nodes and bichromatic
         // edges between them.

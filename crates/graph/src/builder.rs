@@ -1,4 +1,4 @@
-use std::collections::HashSet;
+use std::collections::BTreeMap;
 
 use crate::{EdgeId, Graph, NodeId};
 
@@ -27,7 +27,7 @@ pub struct GraphBuilder {
     node_weights: Vec<u64>,
     edges: Vec<(NodeId, NodeId)>,
     edge_weights: Vec<u64>,
-    seen: HashSet<(u32, u32)>,
+    seen: BTreeMap<(u32, u32), EdgeId>,
 }
 
 impl GraphBuilder {
@@ -82,19 +82,15 @@ impl GraphBuilder {
             "edge endpoint out of range"
         );
         let key = if u < v { (u.0, v.0) } else { (v.0, u.0) };
-        if self.seen.contains(&key) {
-            // Collapse duplicates onto the first insertion.
-            let pos = self
-                .edges
-                .iter()
-                .position(|&(a, b)| (a.0, b.0) == key)
-                .expect("edge recorded in seen-set must exist");
-            return EdgeId(pos as u32);
+        // Collapse duplicates onto the first insertion.
+        if let Some(&e) = self.seen.get(&key) {
+            return e;
         }
-        self.seen.insert(key);
+        let e = EdgeId(self.edges.len() as u32);
+        self.seen.insert(key, e);
         self.edges.push((NodeId(key.0), NodeId(key.1)));
         self.edge_weights.push(1);
-        EdgeId(self.edges.len() as u32 - 1)
+        e
     }
 
     /// Adds an edge with the given weight (convenience for
@@ -108,7 +104,7 @@ impl GraphBuilder {
     /// Whether edge `{u, v}` has been added.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         let key = if u < v { (u.0, v.0) } else { (v.0, u.0) };
-        self.seen.contains(&key)
+        self.seen.contains_key(&key)
     }
 
     /// Sets the weight of an existing edge.

@@ -1,0 +1,446 @@
+//! A hand-rolled Rust lexer, sufficient for token-level static analysis.
+//!
+//! The build environment has no registry access, so `syn` is off the
+//! table; this lexer covers the constructs that matter for *not
+//! misreading* source — raw strings (`r#"…"#`, `br##"…"##`), nested
+//! block comments, lifetime-vs-char-literal disambiguation, string
+//! escapes — and leaves everything else as single-character punctuation.
+//!
+//! The contract the rule engine (and the proptest round-trip suite)
+//! relies on: tokens tile the source exactly — concatenating every
+//! token's text, in order, reproduces the input byte-for-byte.
+
+/// Classification of one lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (newlines included).
+    Whitespace,
+    /// `// …` up to (not including) the terminating newline. Doc line
+    /// comments (`///`, `//!`) are included.
+    LineComment,
+    /// `/* … */`, with arbitrary nesting. Doc block comments included.
+    BlockComment,
+    /// Identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// A lifetime or loop label: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// A character literal (`'x'`, `'\n'`, `'\u{1F600}'`) or byte
+    /// literal (`b'x'`).
+    CharLit,
+    /// A string literal (`"…"`) or byte-string literal (`b"…"`).
+    StrLit,
+    /// A raw (byte-)string literal: `r"…"`, `r#"…"#`, `br##"…"##`.
+    RawStrLit,
+    /// A numeric literal, including suffixes and float forms
+    /// (`0xFF`, `1_000u64`, `1.5e-3`).
+    NumLit,
+    /// Any other single character (operators, brackets, `#`, …).
+    Punct,
+}
+
+/// One lexed token: a classification plus its byte span and start line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// A lexing failure (unterminated comment, string, or literal).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line where the offending token started.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    i: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            chars: src.char_indices().collect(),
+            i: 0,
+            line: 1,
+        }
+    }
+
+    /// Character at offset `k` from the cursor, or `'\0'` past the end.
+    fn at(&self, k: usize) -> char {
+        self.chars.get(self.i + k).map_or('\0', |&(_, c)| c)
+    }
+
+    fn done(&self) -> bool {
+        self.i >= self.chars.len()
+    }
+
+    /// Advance one char, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.at(0) == '\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn byte_pos(&self) -> usize {
+        self.chars.get(self.i).map_or(self.src.len(), |&(p, _)| p)
+    }
+
+    fn err(&self, line: u32, message: &str) -> LexError {
+        LexError {
+            line,
+            message: message.to_string(),
+        }
+    }
+
+    /// Consume an alphanumeric/underscore run as part of a numeric
+    /// literal, stepping over decimal exponent signs (`1e-5`) but never
+    /// treating `-`/`+` after hex/binary/octal digits as part of the
+    /// number.
+    fn eat_num_body(&mut self, allow_exponent: bool) {
+        while !self.done() {
+            let c = self.at(0);
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.bump();
+                if allow_exponent
+                    && (c == 'e' || c == 'E')
+                    && (self.at(0) == '+' || self.at(0) == '-')
+                    && self.at(1).is_ascii_digit()
+                {
+                    self.bump();
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consume the remainder of a (byte-)string literal, the opening
+    /// quote already consumed. Handles `\"` and escaped newlines.
+    fn eat_str_tail(&mut self, start_line: u32) -> Result<(), LexError> {
+        loop {
+            if self.done() {
+                return Err(self.err(start_line, "unterminated string literal"));
+            }
+            match self.at(0) {
+                '\\' => {
+                    self.bump();
+                    if !self.done() {
+                        self.bump();
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    return Ok(());
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consume a raw (byte-)string literal from the `r`/`br` prefix.
+    /// Returns false if the cursor is not actually at one (e.g. a raw
+    /// identifier or a plain ident starting with `r`/`br`).
+    fn try_eat_raw_str(&mut self, prefix_len: usize, start_line: u32) -> Result<bool, LexError> {
+        let mut hashes = 0;
+        while self.at(prefix_len + hashes) == '#' {
+            hashes += 1;
+        }
+        if self.at(prefix_len + hashes) != '"' {
+            return Ok(false);
+        }
+        for _ in 0..prefix_len + hashes + 1 {
+            self.bump();
+        }
+        loop {
+            if self.done() {
+                return Err(self.err(start_line, "unterminated raw string literal"));
+            }
+            if self.at(0) == '"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.at(1 + k) != '#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes + 1 {
+                        self.bump();
+                    }
+                    return Ok(true);
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Consume a char/byte literal body, the opening `'` already
+    /// consumed (escape-aware: `'\''`, `'\u{…}'`).
+    fn eat_char_tail(&mut self, start_line: u32) -> Result<(), LexError> {
+        if self.at(0) == '\\' {
+            self.bump();
+            if !self.done() {
+                self.bump();
+            }
+        }
+        loop {
+            if self.done() || self.at(0) == '\n' {
+                return Err(self.err(start_line, "unterminated character literal"));
+            }
+            if self.at(0) == '\'' {
+                self.bump();
+                return Ok(());
+            }
+            self.bump();
+        }
+    }
+}
+
+/// Lex `src` into a tiling sequence of tokens.
+///
+/// # Errors
+/// Returns a [`LexError`] on unterminated block comments, string
+/// literals, or character literals. Otherwise every input char lands in
+/// exactly one token.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+    while !cur.done() {
+        let start = cur.byte_pos();
+        let start_line = cur.line;
+        let c = cur.at(0);
+        let kind = if c.is_whitespace() {
+            while !cur.done() && cur.at(0).is_whitespace() {
+                cur.bump();
+            }
+            TokenKind::Whitespace
+        } else if c == '/' && cur.at(1) == '/' {
+            while !cur.done() && cur.at(0) != '\n' {
+                cur.bump();
+            }
+            TokenKind::LineComment
+        } else if c == '/' && cur.at(1) == '*' {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                if cur.done() {
+                    return Err(cur.err(start_line, "unterminated block comment"));
+                }
+                if cur.at(0) == '/' && cur.at(1) == '*' {
+                    depth += 1;
+                    cur.bump();
+                    cur.bump();
+                } else if cur.at(0) == '*' && cur.at(1) == '/' {
+                    depth -= 1;
+                    cur.bump();
+                    cur.bump();
+                } else {
+                    cur.bump();
+                }
+            }
+            TokenKind::BlockComment
+        } else if (c == 'r' && cur.try_eat_raw_str(1, start_line)?)
+            || (c == 'b' && cur.at(1) == 'r' && cur.try_eat_raw_str(2, start_line)?)
+        {
+            TokenKind::RawStrLit
+        } else if c == 'r' && cur.at(1) == '#' && is_ident_start(cur.at(2)) {
+            // Raw identifier: `r#match`.
+            cur.bump();
+            cur.bump();
+            while is_ident_continue(cur.at(0)) {
+                cur.bump();
+            }
+            TokenKind::Ident
+        } else if c == 'b' && cur.at(1) == '"' {
+            cur.bump();
+            cur.bump();
+            cur.eat_str_tail(start_line)?;
+            TokenKind::StrLit
+        } else if c == 'b' && cur.at(1) == '\'' {
+            cur.bump();
+            cur.bump();
+            cur.eat_char_tail(start_line)?;
+            TokenKind::CharLit
+        } else if is_ident_start(c) {
+            while is_ident_continue(cur.at(0)) {
+                cur.bump();
+            }
+            TokenKind::Ident
+        } else if c == '"' {
+            cur.bump();
+            cur.eat_str_tail(start_line)?;
+            TokenKind::StrLit
+        } else if c == '\'' {
+            // `'a'` is a char literal, `'a` a lifetime: a lifetime is an
+            // identifier head NOT followed by a closing quote (escapes
+            // always mean char literal).
+            if cur.at(1) != '\\' && is_ident_start(cur.at(1)) && cur.at(2) != '\'' {
+                cur.bump();
+                while is_ident_continue(cur.at(0)) {
+                    cur.bump();
+                }
+                TokenKind::Lifetime
+            } else {
+                cur.bump();
+                cur.eat_char_tail(start_line)?;
+                TokenKind::CharLit
+            }
+        } else if c.is_ascii_digit() {
+            let hex_like = c == '0' && matches!(cur.at(1), 'x' | 'X' | 'b' | 'B' | 'o' | 'O');
+            cur.bump();
+            cur.eat_num_body(!hex_like);
+            // A fractional part: `.` followed by a digit (`1.5`), or a
+            // trailing `.` that is not a range/method (`1.`, but not
+            // `1..2` or `1.max(2)`).
+            if cur.at(0) == '.' && cur.at(1).is_ascii_digit() {
+                cur.bump();
+                cur.eat_num_body(!hex_like);
+            } else if cur.at(0) == '.' && cur.at(1) != '.' && !is_ident_start(cur.at(1)) {
+                cur.bump();
+            }
+            TokenKind::NumLit
+        } else {
+            cur.bump();
+            TokenKind::Punct
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: cur.byte_pos(),
+            line: start_line,
+        });
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn tiles_simple_source() {
+        let src = "fn main() { let x = 1 + 2; }";
+        let toks = lex(src).expect("lexes");
+        let joined: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let got = kinds("<'a, 'static> 'x' '\\'' b'y' '_'");
+        assert_eq!(got[1], (TokenKind::Lifetime, "'a".into()));
+        assert_eq!(got[3], (TokenKind::Lifetime, "'static".into()));
+        assert_eq!(got[5], (TokenKind::CharLit, "'x'".into()));
+        assert_eq!(got[6], (TokenKind::CharLit, "'\\''".into()));
+        assert_eq!(got[7], (TokenKind::CharLit, "b'y'".into()));
+        assert_eq!(got[8], (TokenKind::CharLit, "'_'".into()));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let src = r####"r"a" r#"b " c"# br##"d "# e"## r#match"####;
+        let got = kinds(src);
+        assert_eq!(got[0], (TokenKind::RawStrLit, "r\"a\"".into()));
+        assert_eq!(got[1], (TokenKind::RawStrLit, "r#\"b \" c\"#".into()));
+        assert_eq!(got[2], (TokenKind::RawStrLit, "br##\"d \"# e\"##".into()));
+        assert_eq!(got[3], (TokenKind::Ident, "r#match".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* x /* y */ z */ b";
+        let got = kinds(src);
+        assert_eq!(got[0], (TokenKind::Ident, "a".into()));
+        assert_eq!(
+            got[1],
+            (TokenKind::BlockComment, "/* x /* y */ z */".into())
+        );
+        assert_eq!(got[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        let got = kinds("0xFF 1_000u64 1.5e-3 1..2 x.0 3.");
+        assert_eq!(got[0], (TokenKind::NumLit, "0xFF".into()));
+        assert_eq!(got[1], (TokenKind::NumLit, "1_000u64".into()));
+        assert_eq!(got[2], (TokenKind::NumLit, "1.5e-3".into()));
+        assert_eq!(got[3], (TokenKind::NumLit, "1".into()));
+        assert_eq!(got[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(got[5], (TokenKind::Punct, ".".into()));
+        assert_eq!(got[6], (TokenKind::NumLit, "2".into()));
+        assert_eq!(got[7], (TokenKind::Ident, "x".into()));
+        assert_eq!(got[9], (TokenKind::NumLit, "0".into()));
+        assert_eq!(got[10], (TokenKind::NumLit, "3.".into()));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let src = "a\nb\n  c";
+        let toks: Vec<Token> = lex(src)
+            .expect("lexes")
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .collect();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_inputs_error() {
+        assert!(lex("/* open").is_err());
+        assert!(lex("\"open").is_err());
+        assert!(lex("r#\"open").is_err());
+        // `'x` at EOF is a lifetime, not an unterminated char literal…
+        assert!(lex("'x").is_ok());
+        // …but an escape with no closing quote is an error.
+        assert!(lex("'\\").is_err());
+    }
+
+    #[test]
+    fn strings_with_escapes_and_newlines() {
+        let src = "\"a\\\"b\nc\" d";
+        let got = kinds(src);
+        assert_eq!(got[0].0, TokenKind::StrLit);
+        assert_eq!(got[1], (TokenKind::Ident, "d".into()));
+    }
+}

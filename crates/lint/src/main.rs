@@ -1,0 +1,138 @@
+//! CLI entry point for the determinism & CONGEST-discipline lint.
+//!
+//! ```text
+//! congest-lint --check                  # exit 1 on any violation (CI mode)
+//! congest-lint --list                   # describe the rule set
+//! congest-lint --json                   # findings as JSON lines
+//! congest-lint --emit-msg-size-test     # regenerate tests/tests/msg_size.rs
+//! congest-lint --root <path>            # lint a different checkout
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use congest_lint::{collect_workspace, emit_msg_size_test, lint_files, Diagnostic, RULES};
+
+fn usage() -> &'static str {
+    "usage: congest-lint [--check | --list | --json | --emit-msg-size-test] [--root <path>]"
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(d: &Diagnostic) -> String {
+    format!(
+        "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+        json_escape(&d.file),
+        d.line,
+        d.rule,
+        json_escape(&d.message)
+    )
+}
+
+enum Mode {
+    Check,
+    List,
+    Json,
+    EmitMsgSizeTest,
+}
+
+fn main() -> ExitCode {
+    let mut mode = Mode::Check;
+    let mut root: Option<PathBuf> = None;
+    #[allow(clippy::disallowed_methods)]
+    // lint:allow(no-ambient-nondeterminism): CLI flag parsing is this binary's job
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode = Mode::Check,
+            "--list" => mode = Mode::List,
+            "--json" => mode = Mode::Json,
+            "--emit-msg-size-test" => mode = Mode::EmitMsgSizeTest,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Mode::List = mode {
+        println!("congest-lint rules ({} active):", RULES.len());
+        for rule in RULES {
+            println!("\n  {}\n    {}", rule.name, rule.summary);
+            println!("    rationale: {}", rule.rationale);
+        }
+        println!("\nsuppression: `// lint:allow(<rule>): <justification>` on the");
+        println!("offending line or the line directly above; empty justifications");
+        println!("are themselves violations (suppression-hygiene).");
+        return ExitCode::SUCCESS;
+    }
+
+    // Default to the workspace this binary was built from, so `cargo
+    // run -p congest-lint` works from any directory inside it.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let files = match collect_workspace(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("congest-lint: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Mode::EmitMsgSizeTest = mode {
+        print!("{}", emit_msg_size_test(&files));
+        return ExitCode::SUCCESS;
+    }
+
+    let diags = lint_files(&files);
+    match mode {
+        Mode::Json => {
+            for d in &diags {
+                println!("{}", render_json(d));
+            }
+        }
+        _ => {
+            for d in &diags {
+                println!("{}", d.render());
+            }
+        }
+    }
+    if diags.is_empty() {
+        eprintln!(
+            "congest-lint: {} files clean under {} rules",
+            files.len(),
+            RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("congest-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,158 @@
+//! Workspace source discovery and crate classification.
+//!
+//! The walk covers every Rust source the workspace owns — `crates/*`,
+//! the root `src/` + `examples/` package, and the `tests/` package —
+//! and deliberately skips `shims/` (offline stand-ins for registry
+//! crates; their internals imitate external code and are pinned by
+//! their own tests) and any `target/` directory.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose runs must be bit-reproducible from a seed: the engine,
+/// the graph substrate, every protocol implementation, the exact
+/// oracles — and this lint crate itself (self-hosting keeps the
+/// analyzer honest).
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "graph",
+    "sim",
+    "mis",
+    "core",
+    "coloring",
+    "hypergraph",
+    "exact",
+    "lint",
+];
+
+/// Crates whose *job* is wall-clock measurement or CLI orchestration;
+/// ambient-nondeterminism rules do not apply to them.
+pub const TOOLING_CRATES: &[&str] = &["bench", "harness"];
+
+/// One workspace source file, loaded and classified.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Owning unit: a `crates/<name>` short name, `integration-tests`
+    /// for the `tests/` package, or `examples` for the root package.
+    pub unit: String,
+    /// Whether the whole file is test or bench code (lives under a
+    /// `tests/` or `benches/` directory).
+    pub is_test_file: bool,
+    /// File contents.
+    pub src: String,
+}
+
+impl SourceFile {
+    /// Whether this file belongs to a deterministic crate (see
+    /// [`DETERMINISTIC_CRATES`]).
+    pub fn is_deterministic_unit(&self) -> bool {
+        DETERMINISTIC_CRATES.contains(&self.unit.as_str())
+    }
+
+    /// Whether this file belongs to a measurement/orchestration crate
+    /// (see [`TOOLING_CRATES`]).
+    pub fn is_tooling_unit(&self) -> bool {
+        TOOLING_CRATES.contains(&self.unit.as_str())
+    }
+}
+
+fn classify_unit(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("crates").to_string(),
+        Some("tests") => "integration-tests".to_string(),
+        _ => "examples".to_string(),
+    }
+}
+
+fn is_test_path(rel: &str) -> bool {
+    // The leading `tests/` is the integration-tests *package* directory,
+    // not a test-code marker: its `src/` holds ordinary fixture code.
+    let rest = rel.strip_prefix("tests/").unwrap_or(rel);
+    rest.split('/')
+        .any(|part| part == "tests" || part == "benches")
+}
+
+fn walk_dir(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if name.starts_with('.') || name == "target" || name == "shims" {
+            continue;
+        }
+        if path.is_dir() {
+            walk_dir(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Collects every in-scope `.rs` file under `root`, sorted by path.
+///
+/// # Errors
+/// Propagates I/O errors from directory traversal or file reads.
+pub fn collect_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    for top in ["crates", "tests", "src", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk_dir(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(SourceFile {
+            unit: classify_unit(&rel),
+            is_test_file: is_test_path(&rel),
+            src: fs::read_to_string(&path)?,
+            rel_path: rel,
+        });
+    }
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify_unit("crates/sim/src/engine.rs"), "sim");
+        assert_eq!(classify_unit("crates/lint/src/main.rs"), "lint");
+        assert_eq!(
+            classify_unit("tests/tests/properties.rs"),
+            "integration-tests"
+        );
+        assert_eq!(classify_unit("examples/quickstart.rs"), "examples");
+        assert_eq!(classify_unit("src/lib.rs"), "examples");
+    }
+
+    #[test]
+    fn test_paths() {
+        assert!(is_test_path("crates/sim/tests/alloc_free_rounds.rs"));
+        assert!(is_test_path("tests/tests/properties.rs"));
+        assert!(is_test_path("crates/bench/benches/coloring.rs"));
+        assert!(!is_test_path("crates/sim/src/engine.rs"));
+        // The tests *package*'s fixture library is src code, but its
+        // integration tests live under tests/tests/.
+        assert!(!is_test_path("tests/src/lib.rs"));
+    }
+}

@@ -40,7 +40,7 @@ mod greedy;
 mod luby;
 mod result;
 
-pub use ghaffari::{nmis_iterations, GhaffariMis, NearlyMaximalIs, NmisParams};
+pub use ghaffari::{nmis_iterations, GhaffariMis, NearlyMaximalIs, NmisMsg, NmisParams};
 pub use greedy::greedy_mis;
-pub use luby::LubyMis;
+pub use luby::{LubyMis, LubyMsg};
 pub use result::{uncovered_fraction, verify_mis, verify_nearly_maximal, MisResult};

@@ -701,8 +701,11 @@ impl<'g, P: Protocol> Engine<'g, P> {
             // protocol state and a fresh RNG stream (keyed by the rejoin
             // round, so a node crashing twice gets two distinct streams).
             // Compaction is off in restart mode, so slot index == node id.
-            while restart_queue.front().is_some_and(|&(due, _)| due <= round) {
-                let (_, v) = restart_queue.pop_front().expect("front checked");
+            while let Some(&(due, v)) = restart_queue.front() {
+                if due > round {
+                    break;
+                }
+                restart_queue.pop_front();
                 let slot = &mut slots[v as usize];
                 let info = slot.info;
                 slot.proto = factory(&info);

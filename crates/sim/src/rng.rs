@@ -30,6 +30,15 @@ pub fn phase_seed(master: u64, phase: u64) -> u64 {
     splitmix64(master.wrapping_add(splitmix64(phase)))
 }
 
+/// Derives the sequential RNG stream for a named phase: the blessed
+/// constructor for reference/sequential code that needs a full stream
+/// rather than per-event [`mix4`]/[`coin`] coins. Keeping every RNG
+/// construction in this module is what the `seeded-rng-only` lint rule
+/// enforces.
+pub fn phase_rng(master: u64, phase: u64) -> SmallRng {
+    SmallRng::seed_from_u64(phase_seed(master, phase))
+}
+
 /// Chained SplitMix64 mix of four words — the *pure-coin* primitive
 /// behind every fault and delay decision: the [`Adversary`](crate::Adversary)
 /// and the [`AsyncScheduler`](crate::AsyncScheduler) hash an event's

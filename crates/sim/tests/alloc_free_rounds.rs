@@ -39,7 +39,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        System.dealloc(ptr, layout);
     }
 }
 
@@ -107,8 +107,7 @@ fn steady_state_rounds_allocate_nothing() {
     assert!(short > 0, "prologue allocations should be visible");
     assert_eq!(
         short, long,
-        "round loop allocated: {} allocations over 8 rounds vs {} over 64",
-        short, long
+        "round loop allocated: {short} allocations over 8 rounds vs {long} over 64"
     );
 
     // On a single-threaded host `run_parallel` takes the inline fallback

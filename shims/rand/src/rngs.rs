@@ -74,7 +74,7 @@ mod tests {
 
     #[test]
     fn distinct_seeds_distinct_streams() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for seed in 0..64 {
             let mut rng = SmallRng::seed_from_u64(seed);
             assert!(seen.insert(rng.next_u64()));

@@ -1,0 +1,41 @@
+//! Tier-1 twin of the CI `congest-lint --check` job: `cargo test -q`
+//! fails on any new determinism/CONGEST-discipline violation, without
+//! needing the dedicated CI job to run.
+
+use congest_lint::{lint_workspace, Diagnostic, RULES};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // tests/ -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests package sits inside the workspace")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_no_lint_violations() {
+    let diags = lint_workspace(&workspace_root()).expect("workspace walk");
+    assert!(
+        diags.is_empty(),
+        "congest-lint found {} violation(s) — fix them or add a justified \
+         `// lint:allow(<rule>): <why>`:\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(Diagnostic::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn rule_set_meets_the_contract() {
+    // The gate promises at least five substantive rules beyond the two
+    // meta rules (suppression hygiene, lexability).
+    let substantive = RULES
+        .iter()
+        .filter(|r| r.name != "suppression-hygiene" && r.name != "lex-error")
+        .count();
+    assert!(substantive >= 5, "only {substantive} substantive rules");
+}
