@@ -1,9 +1,9 @@
 //! Machine-readable engine performance baseline.
 //!
 //! Times the three phases of the canonical gnp Luby-MIS workload —
-//! `Engine::build`, `Engine::run`, and `Engine::run_parallel` — at
-//! n ∈ {1 000, 10 000, 100 000} (average degree 8 throughout) and
-//! *appends* one record per size to `BENCH_engine.json`, a JSON array
+//! `Engine::build`, `Engine::run`, and `Engine::run_parallel_with` — over
+//! a size × worker-count matrix (average degree 8 throughout) and
+//! *appends* one record per cell to `BENCH_engine.json`, a JSON array
 //! checked into the repository so successive PRs leave a perf trajectory;
 //! CI and reviewers diff it rather than re-deriving numbers from criterion
 //! logs. A pre-existing single-object file (the PR 3 schema) is wrapped
@@ -11,24 +11,42 @@
 //! oldest point.
 //!
 //! ```text
-//! cargo run --release -p congest-bench --bin bench_baseline [-- PATH] [--samples N]
+//! cargo run --release -p congest-bench --bin bench_baseline \
+//!     [-- PATH] [--samples N] [--sizes a,b,c] [--threads t1,t2] [--no-ride-along]
 //! ```
 //!
-//! `--samples N` overrides the per-phase sample count (default 21; CI uses
-//! a tiny count to keep the job cheap — the medians it records are noisy
-//! but the schema is identical). Each record carries the `threads` the
-//! host offered, because `run_parallel` medians are only meaningful
-//! relative to it: on a single-threaded host the parallel executor takes
-//! its documented inline fallback and matches `run` instead of beating it.
+//! `--sizes` picks the graph sizes (default 1000,10000,100000); sizes of
+//! a million and beyond switch the generator to the `O(n + m)`
+//! Batagelj–Brandes `gnp_skip` — the quadratic coin-flip `gnp` cannot
+//! produce them in reasonable time. `--threads` picks the worker counts
+//! handed to `run_parallel_with` (default: what the host offers). Each
+//! record carries both the *requested* `threads` and the `host_threads`
+//! actually available, because parallel medians on an oversubscribed
+//! host measure context-switching, not the executor: consumers gate
+//! speedup assertions on `threads <= host_threads`. Records also carry
+//! `plane_bytes`, the exact packed message-plane footprint for the
+//! graph, pinning the ≤ 9 bytes/directed-edge/plane memory story.
+//!
+//! Unless `--no-ride-along` is given, sizes 10⁴ and 10⁵ additionally
+//! record end-to-end medians for three non-Luby protocols — the grouped
+//! local-ratio matching, randomized (Δ+1)-coloring, and the Algorithm 2
+//! MaxIS — so engine-level wins are visible beyond a single workload.
+//!
+//! `--samples N` overrides the per-phase sample count (default 21; CI
+//! uses a tiny count to keep the job cheap — the medians it records are
+//! noisy but the schema is identical).
 
 // Wall-clock measurement and CLI parsing are this binary's entire job;
 // the workspace-wide ban (clippy.toml / congest-lint
 // no-ambient-nondeterminism) targets protocol code, not the bench tier.
 #![allow(clippy::disallowed_methods)]
 
-use congest_graph::generators;
+use congest_approx::matching::mwm_grouped;
+use congest_approx::maxis::{alg2, Alg2Config};
+use congest_coloring::RandomizedColoring;
+use congest_graph::{generators, Graph};
 use congest_mis::LubyMis;
-use congest_sim::{Engine, SimConfig};
+use congest_sim::{plane_bytes_for, run_protocol, Engine, SimConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -38,8 +56,16 @@ use std::time::Instant;
 /// noise.
 const DEFAULT_SAMPLES: usize = 21;
 
-/// Graph sizes of the baseline matrix (average degree 8 at every size).
-const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+/// Default graph sizes of the baseline matrix (average degree 8 at every
+/// size).
+const DEFAULT_SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// Sizes at which the non-Luby ride-along protocols are also measured.
+const RIDE_ALONG_SIZES: [usize; 2] = [10_000, 100_000];
+
+/// Above this size the quadratic `gnp` is replaced by the `O(n + m)`
+/// skip-sampling generator.
+const GNP_SKIP_THRESHOLD: usize = 1_000_000;
 
 /// Median of a sample set in nanoseconds.
 fn median_ns(mut xs: Vec<u128>) -> u128 {
@@ -57,16 +83,29 @@ fn measure(samples: usize, mut f: impl FnMut() -> u128) -> u128 {
     median_ns(samples)
 }
 
-/// One benchmark record for graph size `n`.
-fn record_for(n: usize, samples: usize) -> String {
+/// Generates the degree-8 gnp instance for size `n`, switching to skip
+/// sampling at million-node scale. Returns the graph and the generator's
+/// family name for the record.
+fn graph_for(n: usize) -> (Graph, &'static str) {
     let p = 8.0 / n as f64;
     let mut rng = SmallRng::seed_from_u64(n as u64);
-    let g = generators::gnp(n, p, &mut rng);
-    let config = SimConfig::congest_for(&g);
+    if n >= GNP_SKIP_THRESHOLD {
+        (generators::gnp_skip(n, p, &mut rng), "gnp_skip")
+    } else {
+        (generators::gnp(n, p, &mut rng), "gnp")
+    }
+}
+
+/// One Luby benchmark record for graph `g` at `threads` workers.
+fn record_for(g: &Graph, family: &str, n: usize, threads: usize, samples: usize) -> String {
+    let p = 8.0 / n as f64;
+    let config = SimConfig::congest_for(g);
+    // Fault-free runs keep a single receive plane (ring length 1).
+    let plane_bytes = plane_bytes_for(g, 1);
 
     let build_ns = measure(samples, || {
         let start = Instant::now();
-        black_box(Engine::build(&g, config.clone(), |_| LubyMis::new()));
+        black_box(Engine::build(g, config.clone(), |_| LubyMis::new()));
         start.elapsed().as_nanos()
     });
     // `run` and `run_parallel` samples are interleaved (same seed per
@@ -76,13 +115,13 @@ fn record_for(n: usize, samples: usize) -> String {
     let mut run_samples = Vec::with_capacity(samples);
     let mut run_parallel_samples = Vec::with_capacity(samples);
     for seed in 0..=samples as u64 {
-        let engine = Engine::build(&g, config.clone(), |_| LubyMis::new());
+        let engine = Engine::build(g, config.clone(), |_| LubyMis::new());
         let start = Instant::now();
         black_box(engine.run(seed));
         let seq_ns = start.elapsed().as_nanos();
-        let engine = Engine::build(&g, config.clone(), |_| LubyMis::new());
+        let engine = Engine::build(g, config.clone(), |_| LubyMis::new());
         let start = Instant::now();
-        black_box(engine.run_parallel(seed));
+        black_box(engine.run_parallel_with(seed, threads));
         let par_ns = start.elapsed().as_nanos();
         // Seed 0 is the warm-up pair.
         if seed > 0 {
@@ -94,39 +133,133 @@ fn record_for(n: usize, samples: usize) -> String {
     let run_parallel_ns = median_ns(run_parallel_samples);
 
     format!(
-        "  {{\n    \"bench\": \"engine_gnp_luby\",\n    \"graph\": {{ \"family\": \"gnp\", \"n\": {n}, \"p\": {p}, \"seed\": {n}, \"edges\": {m} }},\n    \"protocol\": \"LubyMis\",\n    \"samples\": {samples},\n    \"threads\": {threads},\n    \"median_ns\": {{\n      \"build\": {build_ns},\n      \"run\": {run_ns},\n      \"run_parallel\": {run_parallel_ns}\n    }}\n  }}",
+        "  {{\n    \"bench\": \"engine_gnp_luby\",\n    \"graph\": {{ \"family\": \"{family}\", \"n\": {n}, \"p\": {p}, \"seed\": {n}, \"edges\": {m} }},\n    \"protocol\": \"LubyMis\",\n    \"samples\": {samples},\n    \"threads\": {threads},\n    \"host_threads\": {host},\n    \"plane_bytes\": {plane_bytes},\n    \"median_ns\": {{\n      \"build\": {build_ns},\n      \"run\": {run_ns},\n      \"run_parallel\": {run_parallel_ns}\n    }}\n  }}",
         m = g.num_edges(),
-        threads = rayon::current_num_threads(),
+        host = rayon::current_num_threads(),
     )
+}
+
+/// One end-to-end ride-along record (driver latency, sequential
+/// executor) for a named protocol on `g`.
+fn ride_along_record(
+    g: &Graph,
+    family: &str,
+    n: usize,
+    samples: usize,
+    protocol: &str,
+    mut total: impl FnMut(u64),
+) -> String {
+    let p = 8.0 / n as f64;
+    let total_ns = {
+        let mut seed = 0u64;
+        measure(samples, || {
+            seed += 1;
+            let start = Instant::now();
+            total(seed);
+            start.elapsed().as_nanos()
+        })
+    };
+    format!(
+        "  {{\n    \"bench\": \"protocol_gnp_{name}\",\n    \"graph\": {{ \"family\": \"{family}\", \"n\": {n}, \"p\": {p}, \"seed\": {n}, \"edges\": {m} }},\n    \"protocol\": \"{protocol}\",\n    \"samples\": {samples},\n    \"threads\": 1,\n    \"host_threads\": {host},\n    \"median_ns\": {{\n      \"total\": {total_ns}\n    }}\n  }}",
+        name = protocol.to_lowercase(),
+        m = g.num_edges(),
+        host = rayon::current_num_threads(),
+    )
+}
+
+/// Parses a comma-separated list of positive integers.
+fn parse_list(flag: &str, v: &str) -> Vec<usize> {
+    let xs: Vec<usize> = v
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} entries must be integers, got {s:?}"))
+        })
+        .collect();
+    assert!(!xs.is_empty(), "{flag} needs at least one value");
+    assert!(xs.iter().all(|&x| x > 0), "{flag} entries must be positive");
+    xs
 }
 
 fn main() {
     let mut out_path = "BENCH_engine.json".to_string();
     let mut samples = DEFAULT_SAMPLES;
+    let mut sizes: Vec<usize> = DEFAULT_SIZES.to_vec();
+    let mut threads: Vec<usize> = vec![rayon::current_num_threads()];
+    let mut ride_along = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--samples" {
-            let v = args.next().expect("--samples needs a value");
+        let mut take = |name: &str| -> Option<String> {
+            if arg == name {
+                Some(
+                    args.next()
+                        .unwrap_or_else(|| panic!("{name} needs a value")),
+                )
+            } else {
+                arg.strip_prefix(&format!("{name}=")).map(str::to_string)
+            }
+        };
+        if let Some(v) = take("--samples") {
             samples = v.parse().expect("--samples value must be an integer");
             assert!(samples > 0, "--samples must be positive");
-        } else if let Some(v) = arg.strip_prefix("--samples=") {
-            samples = v.parse().expect("--samples value must be an integer");
-            assert!(samples > 0, "--samples must be positive");
+        } else if let Some(v) = take("--sizes") {
+            sizes = parse_list("--sizes", &v);
+        } else if let Some(v) = take("--threads") {
+            threads = parse_list("--threads", &v);
+        } else if arg == "--no-ride-along" {
+            ride_along = false;
         } else if arg.starts_with('-') {
             // Don't let a flag typo silently become the output path.
-            panic!("unknown flag {arg}; usage: bench_baseline [PATH] [--samples N]");
+            panic!(
+                "unknown flag {arg}; usage: bench_baseline [PATH] [--samples N] \
+                 [--sizes a,b,c] [--threads t1,t2] [--no-ride-along]"
+            );
         } else {
             out_path = arg;
         }
     }
 
-    let records: Vec<String> = SIZES
-        .iter()
-        .map(|&n| {
-            eprintln!("measuring n = {n} ({samples} samples/phase)...");
-            record_for(n, samples)
-        })
-        .collect();
+    let mut records: Vec<String> = Vec::new();
+    for &n in &sizes {
+        eprintln!("generating n = {n}...");
+        let (g, family) = graph_for(n);
+        for &t in &threads {
+            eprintln!("measuring n = {n}, threads = {t} ({samples} samples/phase)...");
+            records.push(record_for(&g, family, n, t, samples));
+        }
+        if ride_along && RIDE_ALONG_SIZES.contains(&n) {
+            eprintln!("measuring ride-along protocols at n = {n}...");
+            records.push(ride_along_record(
+                &g,
+                family,
+                n,
+                samples,
+                "GroupedLrMatching",
+                |seed| {
+                    black_box(mwm_grouped(&g, seed));
+                },
+            ));
+            records.push(ride_along_record(
+                &g,
+                family,
+                n,
+                samples,
+                "RandomizedColoring",
+                |seed| {
+                    black_box(run_protocol(
+                        &g,
+                        SimConfig::congest_for(&g),
+                        |_| RandomizedColoring::new(),
+                        seed,
+                    ));
+                },
+            ));
+            records.push(ride_along_record(&g, family, n, samples, "Alg2", |seed| {
+                black_box(alg2(&g, &Alg2Config::default(), seed));
+            }));
+        }
+    }
     // The append semantics (array creation, legacy single-object
     // wrapping, corrupt-file refusal) live in the shared ledger module so
     // the perf baseline and the conformance harness cannot drift apart.

@@ -10,7 +10,7 @@
 //! Iterating reaches `O(Δ² log²(Δ))`-ish many colors after `O(log* n)`
 //! rounds, the classic bound.
 
-use congest_sim::{bits_for_value, Context, Inbox, Message, Protocol, Status};
+use congest_sim::{bits_for_value, Context, Inbox, Message, PackedMsg, Protocol, Status};
 
 use crate::primes::next_prime;
 
@@ -92,6 +92,19 @@ pub struct ColorMsg(pub u64);
 impl Message for ColorMsg {
     fn bit_size(&self) -> usize {
         bits_for_value(self.0)
+    }
+}
+
+/// Wire format: the color itself (a single `O(log n)`-bit value).
+impl PackedMsg for ColorMsg {
+    const BITS: u32 = 64;
+
+    fn pack(&self) -> u64 {
+        self.0
+    }
+
+    fn unpack(word: u64) -> Self {
+        ColorMsg(word)
     }
 }
 

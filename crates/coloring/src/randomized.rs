@@ -3,7 +3,7 @@
 //! neighbor proposed the same color (ties broken by id) or already owns
 //! it. Terminates in `O(log n)` rounds w.h.p.
 
-use congest_sim::{bits_for_count, Context, Inbox, Message, Protocol, Status};
+use congest_sim::{bits_for_count, Context, Inbox, Message, PackedMsg, Protocol, Status};
 use rand::Rng;
 
 /// Messages of [`RandomizedColoring`].
@@ -21,6 +21,28 @@ impl Message for RandColorMsg {
             RandColorMsg::Propose(c) | RandColorMsg::Final(c) => *c,
         };
         1 + bits_for_count(c as usize + 2)
+    }
+}
+
+/// Wire format: 1-bit variant tag in the low bit (`Propose` = 0,
+/// `Final` = 1), the 32-bit color above it.
+impl PackedMsg for RandColorMsg {
+    const BITS: u32 = 33;
+
+    fn pack(&self) -> u64 {
+        match self {
+            RandColorMsg::Propose(c) => u64::from(*c) << 1,
+            RandColorMsg::Final(c) => (u64::from(*c) << 1) | 1,
+        }
+    }
+
+    fn unpack(word: u64) -> Self {
+        let c = (word >> 1) as u32;
+        if word & 1 == 0 {
+            RandColorMsg::Propose(c)
+        } else {
+            RandColorMsg::Final(c)
+        }
     }
 }
 
@@ -68,7 +90,7 @@ impl Protocol for RandomizedColoring {
             // Proposal phase: fold in Final claims, then propose.
             for (_, msg) in inbox {
                 if let RandColorMsg::Final(c) = msg {
-                    self.taken[*c as usize] = true;
+                    self.taken[c as usize] = true;
                 }
             }
             self.proposal = self.pick(ctx);
@@ -82,13 +104,13 @@ impl Protocol for RandomizedColoring {
             for (port, msg) in inbox {
                 match msg {
                     RandColorMsg::Propose(c)
-                        if *c == self.proposal && ctx.neighbor(port) > ctx.id() =>
+                        if c == self.proposal && ctx.neighbor(port) > ctx.id() =>
                     {
                         keep = false;
                     }
                     RandColorMsg::Final(c) => {
-                        self.taken[*c as usize] = true;
-                        if *c == self.proposal {
+                        self.taken[c as usize] = true;
+                        if c == self.proposal {
                             keep = false;
                         }
                     }

@@ -10,7 +10,7 @@
 //!   `O((Δ+1) · log(C/(Δ+1)))` rounds — the `O(Δ log Δ)` term of our
 //!   deterministic pipeline.
 
-use congest_sim::{bits_for_value, Context, Inbox, Message, Protocol, Status};
+use congest_sim::{bits_for_value, Context, Inbox, Message, PackedMsg, Protocol, Status};
 
 /// Message: the sender's new color after a recoloring.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -19,6 +19,19 @@ pub struct RecolorMsg(pub u64);
 impl Message for RecolorMsg {
     fn bit_size(&self) -> usize {
         bits_for_value(self.0)
+    }
+}
+
+/// Wire format: the color itself (a single `O(log n)`-bit value).
+impl PackedMsg for RecolorMsg {
+    const BITS: u32 = 64;
+
+    fn pack(&self) -> u64 {
+        self.0
+    }
+
+    fn unpack(word: u64) -> Self {
+        RecolorMsg(word)
     }
 }
 

@@ -17,4 +17,4 @@ mod nmm;
 
 pub use augment3::{mwm_two_plus_eps, Augment3Run};
 pub use buckets::{mwm_const_approx, BucketsRun};
-pub use nmm::{mcm_two_plus_eps, nmm_on_line_graph, NmmLineRun};
+pub use nmm::{mcm_two_plus_eps, nmm_on_line_graph, NmisAgg, NmmLineRun};

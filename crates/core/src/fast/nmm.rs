@@ -11,7 +11,7 @@
 
 use congest_graph::{Graph, Matching};
 use congest_mis::{nmis_iterations, MisResult, NmisParams};
-use congest_sim::Message;
+use congest_sim::{Message, PackedMsg};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -37,6 +37,38 @@ impl Message for NmisAgg {
             // representation needs O(log Δ) bits. Charged as 32.
             NmisAgg::Sum(_) => 32,
             NmisAgg::Flag(_) => 2,
+        }
+    }
+}
+
+/// Quiet-NaN base pattern used to encode the payload-free variants.
+const NMIS_AGG_NAN: u64 = 0x7ff8_0000_0000_0000;
+
+/// Wire format: `Sum(x)` travels as the raw IEEE-754 bits of `x`; the
+/// payload-free variants borrow quiet-NaN encodings, which a genuine sum
+/// (finite, being a sum of positive powers of `1/K`) can never collide
+/// with. Lossless in both directions.
+impl PackedMsg for NmisAgg {
+    const BITS: u32 = 64;
+
+    fn pack(&self) -> u64 {
+        match self {
+            NmisAgg::Empty => NMIS_AGG_NAN | 1,
+            NmisAgg::Flag(false) => NMIS_AGG_NAN | 2,
+            NmisAgg::Flag(true) => NMIS_AGG_NAN | 3,
+            NmisAgg::Sum(x) => {
+                debug_assert!(x.is_finite(), "probability sums are finite");
+                x.to_bits()
+            }
+        }
+    }
+
+    fn unpack(word: u64) -> Self {
+        match word {
+            w if w == NMIS_AGG_NAN | 1 => NmisAgg::Empty,
+            w if w == NMIS_AGG_NAN | 2 => NmisAgg::Flag(false),
+            w if w == NMIS_AGG_NAN | 3 => NmisAgg::Flag(true),
+            w => NmisAgg::Sum(f64::from_bits(w)),
         }
     }
 }

@@ -16,7 +16,7 @@
 
 use congest_graph::{Graph, NodeId};
 use congest_sim::rng::node_rng;
-use congest_sim::Message;
+use congest_sim::{Message, PackedMsg};
 use rand::rngs::SmallRng;
 
 use super::{edge_infos, EdgeInfo};
@@ -27,7 +27,9 @@ use super::{edge_infos, EdgeInfo};
 /// line-graph neighbors' contributions.
 pub trait EdgeProtocol {
     /// The alphabet `Σ` (must be `O(log n)` bits for CONGEST; metered).
-    type Agg: Message;
+    /// The [`PackedMsg`] bound lets the naive explicit-`L(G)` simulation
+    /// run on the packed message planes.
+    type Agg: PackedMsg;
     /// Final per-edge output.
     type Output: Clone + std::fmt::Debug;
 

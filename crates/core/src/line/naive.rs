@@ -59,7 +59,7 @@ impl<P: EdgeProtocol> Protocol for LineNodeAdapter<P> {
         let round = ctx.round();
         let mut agg = P::identity();
         for (_, msg) in inbox {
-            agg = P::join(agg, msg.clone());
+            agg = P::join(agg, msg);
         }
         if self.output.is_none() {
             // The adapter owns the RNG stream through the engine context,

@@ -30,7 +30,8 @@
 
 use congest_graph::{Graph, Matching, NodeId};
 use congest_sim::{
-    bits_for_value, run_protocol, Context, Inbox, Message, Port, Protocol, SimConfig, Status,
+    bits_for_value, run_protocol, Context, Inbox, Message, PackedMsg, Port, Protocol, SimConfig,
+    Status,
 };
 use rand::Rng;
 
@@ -75,6 +76,66 @@ impl Message for GroupedMsg {
             GroupedMsg::ExcludeMax(None) => 1,
             GroupedMsg::ReduceSum(x) => bits_for_value(*x),
             GroupedMsg::Resolve { .. } => 2,
+        }
+    }
+}
+
+/// Wire format: 2-bit variant tag in the low bits, then variant fields
+/// LSB-first. `ExcludeMax` is the tight one — a presence bit (1), layer
+/// (7), prio (26), and tiebreak (28) fill the word exactly, which is why
+/// the priority draw is capped at `2²⁶` and the tiebreak (the primary
+/// endpoint's node id) asserts `n < 2²⁸`. `Announce` reuses the same
+/// layer/prio fields; `ReduceSum` carries its 62-bit sum; `Resolve` packs
+/// its two flags.
+impl PackedMsg for GroupedMsg {
+    const BITS: u32 = 64;
+
+    fn pack(&self) -> u64 {
+        match self {
+            GroupedMsg::Announce { layer, prio } => {
+                debug_assert!(*layer < 1 << 7, "layer exceeds the 7-bit wire field");
+                debug_assert!(*prio < 1 << 26, "priority exceeds the 26-bit wire field");
+                (u64::from(*layer) << 2) | (prio << 9)
+            }
+            GroupedMsg::ExcludeMax(None) => 1,
+            GroupedMsg::ExcludeMax(Some((layer, prio, tie))) => {
+                debug_assert!(*layer < 1 << 7, "layer exceeds the 7-bit wire field");
+                debug_assert!(*prio < 1 << 26, "priority exceeds the 26-bit wire field");
+                assert!(*tie < 1 << 28, "tiebreak id exceeds the 28-bit wire field");
+                1 | (1 << 2) | (u64::from(*layer) << 3) | (prio << 10) | (tie << 36)
+            }
+            GroupedMsg::ReduceSum(x) => {
+                assert!(*x < 1 << 62, "reduce sum exceeds the 62-bit wire field");
+                2 | (x << 2)
+            }
+            GroupedMsg::Resolve { side_clear, killed } => {
+                3 | (u64::from(*side_clear) << 2) | (u64::from(*killed) << 3)
+            }
+        }
+    }
+
+    fn unpack(word: u64) -> Self {
+        match word & 0b11 {
+            0 => GroupedMsg::Announce {
+                layer: ((word >> 2) & 0x7f) as u32,
+                prio: word >> 9,
+            },
+            1 => {
+                if word >> 2 & 1 == 0 {
+                    GroupedMsg::ExcludeMax(None)
+                } else {
+                    GroupedMsg::ExcludeMax(Some((
+                        ((word >> 3) & 0x7f) as u32,
+                        (word >> 10) & ((1 << 26) - 1),
+                        word >> 36,
+                    )))
+                }
+            }
+            2 => GroupedMsg::ReduceSum(word >> 2),
+            _ => GroupedMsg::Resolve {
+                side_clear: (word >> 2) & 1 == 1,
+                killed: (word >> 3) & 1 == 1,
+            },
         }
     }
 }
@@ -191,10 +252,10 @@ impl Protocol for GroupedLrMatching {
                 // lands here: fold it in before announcing.
                 for (port, msg) in inbox {
                     if let GroupedMsg::Resolve { side_clear, killed } = msg {
-                        if *killed {
+                        if killed {
                             self.slots[port].killed = true;
                         }
-                        if *side_clear {
+                        if side_clear {
                             self.slots[port].remote_clear = true;
                         }
                     }
@@ -213,7 +274,11 @@ impl Protocol for GroupedLrMatching {
                             None => continue, // dead, will be classified below
                         };
                         let n = ctx.info().n.max(2) as u64;
-                        let prio = ctx.rng().random_range(0..n * n * n);
+                        // Capped at the wire format's 26-bit priority
+                        // field; the per-edge tiebreak keeps wins unique
+                        // regardless of collisions.
+                        let domain = n.saturating_mul(n).saturating_mul(n).min(1 << 26);
+                        let prio = ctx.rng().random_range(0..domain);
                         let tie =
                             u64::from(ctx.id().0) * (ctx.info().max_degree as u64 + 1) + p as u64;
                         self.slots[p].tuple = (layer, prio, tie);
@@ -230,7 +295,7 @@ impl Protocol for GroupedLrMatching {
                         // derive the identical value (the primary is the
                         // smaller-id endpoint, i.e. the sender here).
                         let tie = u64::from(ctx.neighbor(port).0);
-                        self.slots[port].tuple = (*layer, *prio, tie);
+                        self.slots[port].tuple = (layer, prio, tie);
                     }
                 }
                 // Primaries normalize their own tiebreak the same way so
@@ -263,7 +328,7 @@ impl Protocol for GroupedLrMatching {
                             None => true,
                             Some(o) => t > *o,
                         };
-                        self.slots[p].won = beats(&mine) && beats(remote);
+                        self.slots[p].won = beats(&mine) && beats(&remote);
                     }
                 }
                 for p in 0..self.slots.len() {

@@ -26,7 +26,7 @@
 
 use congest_graph::{Graph, IndependentSet, NodeId};
 use congest_sim::{
-    bits_for_value, run_protocol, Context, Inbox, Message, Protocol, SimConfig, Status,
+    bits_for_value, run_protocol, Context, Inbox, Message, PackedMsg, Protocol, SimConfig, Status,
 };
 use rand::Rng;
 
@@ -106,6 +106,57 @@ impl Message for Alg2Msg {
     }
 }
 
+/// Wire format: 3-bit variant tag in the low bits, then variant fields
+/// LSB-first. `Compete` carries `layer` in 7 bits and `prio` in the 54
+/// bits above it (the draw domain is capped at `2⁵⁴`, see the Round-A
+/// code); `CompeteG` carries `layer` (7) + `pexp` (16) + `marked` (1);
+/// `Reduce` carries its 61-bit amount — weights are `O(log W)`-bit by the
+/// paper's model, and the pack asserts the bound.
+impl PackedMsg for Alg2Msg {
+    const BITS: u32 = 64;
+
+    fn pack(&self) -> u64 {
+        match self {
+            Alg2Msg::Compete { layer, prio } => {
+                debug_assert!(*layer < 1 << 7, "layer exceeds the 7-bit wire field");
+                debug_assert!(*prio < 1 << 54, "priority exceeds the 54-bit wire field");
+                (u64::from(*layer) << 3) | (prio << 10)
+            }
+            Alg2Msg::CompeteG {
+                layer,
+                pexp,
+                marked,
+            } => {
+                debug_assert!(*layer < 1 << 7, "layer exceeds the 7-bit wire field");
+                1 | (u64::from(*layer) << 3) | (u64::from(*pexp) << 10) | (u64::from(*marked) << 26)
+            }
+            Alg2Msg::Reduce(x) => {
+                assert!(*x < 1 << 61, "reduce amount exceeds the 61-bit wire field");
+                2 | (x << 3)
+            }
+            Alg2Msg::Removed => 3,
+            Alg2Msg::AddedToIs => 4,
+        }
+    }
+
+    fn unpack(word: u64) -> Self {
+        match word & 0b111 {
+            0 => Alg2Msg::Compete {
+                layer: ((word >> 3) & 0x7f) as u32,
+                prio: word >> 10,
+            },
+            1 => Alg2Msg::CompeteG {
+                layer: ((word >> 3) & 0x7f) as u32,
+                pexp: (word >> 10) as u16,
+                marked: (word >> 26) & 1 == 1,
+            },
+            2 => Alg2Msg::Reduce(word >> 3),
+            3 => Alg2Msg::Removed,
+            _ => Alg2Msg::AddedToIs,
+        }
+    }
+}
+
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 enum NodeState {
     Alive,
@@ -161,7 +212,7 @@ impl Alg2Node {
                     // Candidates ignore late reductions (they already left
                     // the local-ratio graph); the sender is gone either way.
                     if self.state == NodeState::Alive {
-                        self.w -= *x as i64;
+                        self.w -= x as i64;
                     }
                     self.gone[port] = true;
                 }
@@ -212,7 +263,11 @@ impl Protocol for Alg2Node {
             match self.cfg.mis_box {
                 MisBox::RandomPriority => {
                     let n = ctx.info().n.max(2) as u64;
-                    self.my_prio = ctx.rng().random_range(0..n * n * n);
+                    // Capped at the wire format's 54-bit priority field —
+                    // only graphs beyond n ≈ 260k even notice, and ties
+                    // still break on node id.
+                    let domain = n.saturating_mul(n).saturating_mul(n).min(1 << 54);
+                    self.my_prio = ctx.rng().random_range(0..domain);
                     let msg = Alg2Msg::Compete {
                         layer,
                         prio: self.my_prio,
@@ -246,7 +301,7 @@ impl Protocol for Alg2Node {
             let mut eff_deg = 0.0f64;
             let mut marked_same_layer_neighbor = false;
             for (port, msg) in inbox {
-                match *msg {
+                match msg {
                     Alg2Msg::Compete { layer: l, prio } => {
                         if l > layer {
                             eligible = false;

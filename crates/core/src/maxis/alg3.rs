@@ -14,8 +14,8 @@
 use congest_coloring::deterministic_delta_plus_one;
 use congest_graph::{Graph, IndependentSet, NodeId};
 use congest_sim::{
-    bits_for_count, bits_for_value, run_protocol, Context, Inbox, Message, Protocol, SimConfig,
-    Status,
+    bits_for_count, bits_for_value, run_protocol, Context, Inbox, Message, PackedMsg, Protocol,
+    SimConfig, Status,
 };
 
 use congest_sim::RunStats;
@@ -58,6 +58,35 @@ impl Message for Alg3Msg {
     }
 }
 
+/// Wire format: 2-bit variant tag in the low bits, then the payload.
+/// `Color` carries its 32-bit color above the tag; `Reduce` carries its
+/// 62-bit amount — weights are `O(log W)`-bit by the paper's model, and
+/// the pack asserts the bound.
+impl PackedMsg for Alg3Msg {
+    const BITS: u32 = 64;
+
+    fn pack(&self) -> u64 {
+        match self {
+            Alg3Msg::Color(c) => u64::from(*c) << 2,
+            Alg3Msg::Reduce(x) => {
+                assert!(*x < 1 << 62, "reduce amount exceeds the 62-bit wire field");
+                1 | (x << 2)
+            }
+            Alg3Msg::Removed => 2,
+            Alg3Msg::AddedToIs => 3,
+        }
+    }
+
+    fn unpack(word: u64) -> Self {
+        match word & 0b11 {
+            0 => Alg3Msg::Color((word >> 2) as u32),
+            1 => Alg3Msg::Reduce(word >> 2),
+            2 => Alg3Msg::Removed,
+            _ => Alg3Msg::AddedToIs,
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Alg3Node {
     color: u32,
@@ -95,10 +124,10 @@ impl Protocol for Alg3Node {
     fn round(&mut self, ctx: &mut Context<'_, Alg3Msg>, inbox: Inbox<'_, Alg3Msg>) -> Status<bool> {
         for (port, msg) in inbox {
             match msg {
-                Alg3Msg::Color(c) => self.neighbor_color[port] = *c,
+                Alg3Msg::Color(c) => self.neighbor_color[port] = c,
                 Alg3Msg::Reduce(x) => {
                     if !self.candidate {
-                        self.w -= *x as i64;
+                        self.w -= x as i64;
                     }
                     self.gone[port] = true;
                 }

@@ -14,7 +14,9 @@
 
 use congest_graph::{Bipartition, Graph, GraphBuilder, Matching, NodeId};
 use congest_sim::rng::{phase_rng, phase_seed};
-use congest_sim::{run_protocol, Context, Inbox, Message, Port, Protocol, SimConfig, Status};
+use congest_sim::{
+    run_protocol, Context, Inbox, Message, PackedMsg, Port, Protocol, SimConfig, Status,
+};
 use rand::Rng;
 
 /// Messages of the proposal protocol.
@@ -32,6 +34,29 @@ pub enum ProposalMsg {
 impl Message for ProposalMsg {
     fn bit_size(&self) -> usize {
         2
+    }
+}
+
+/// Wire format: a bare 2-bit variant tag (`Propose` = 0, `Accept` = 1,
+/// `Taken` = 2) — the protocol carries no payload beyond the edge it
+/// travels on.
+impl PackedMsg for ProposalMsg {
+    const BITS: u32 = 2;
+
+    fn pack(&self) -> u64 {
+        match self {
+            ProposalMsg::Propose => 0,
+            ProposalMsg::Accept => 1,
+            ProposalMsg::Taken => 2,
+        }
+    }
+
+    fn unpack(word: u64) -> Self {
+        match word & 0b11 {
+            0 => ProposalMsg::Propose,
+            1 => ProposalMsg::Accept,
+            _ => ProposalMsg::Taken,
+        }
     }
 }
 
@@ -93,7 +118,7 @@ impl Protocol for ProposalNode {
             // Right side: accept the highest-id proposer, reject others.
             let mut proposers: Vec<Port> = inbox
                 .iter()
-                .filter(|&(_, m)| *m == ProposalMsg::Propose)
+                .filter(|(_, m)| *m == ProposalMsg::Propose)
                 .map(|(p, _)| p)
                 .collect();
             proposers.sort_by_key(|&p| ctx.neighbor(p));

@@ -93,6 +93,29 @@ impl GraphBuilder {
         e
     }
 
+    /// Adds an undirected edge `{u, v}` with weight 1 without consulting
+    /// (or updating) the duplicate map — the million-node fast path for
+    /// generators that already emit every edge exactly once, where the
+    /// `BTreeMap` insert dominates construction time.
+    ///
+    /// The caller must guarantee simplicity: inserting a duplicate here
+    /// corrupts the graph (both copies survive into the CSR), and later
+    /// [`add_edge`](Self::add_edge)/[`has_edge`](Self::has_edge) calls
+    /// will not see edges added through this path. Debug builds still
+    /// check the self-loop and range invariants.
+    pub fn add_edge_unchecked(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        debug_assert_ne!(u, v, "self-loops are not allowed");
+        debug_assert!(
+            u.index() < self.node_weights.len() && v.index() < self.node_weights.len(),
+            "edge endpoint out of range"
+        );
+        let key = if u < v { (u.0, v.0) } else { (v.0, u.0) };
+        let e = EdgeId(self.edges.len() as u32);
+        self.edges.push((NodeId(key.0), NodeId(key.1)));
+        self.edge_weights.push(1);
+        e
+    }
+
     /// Adds an edge with the given weight (convenience for
     /// [`add_edge`](Self::add_edge) + [`set_edge_weight`](Self::set_edge_weight)).
     pub fn add_weighted_edge(&mut self, u: NodeId, v: NodeId, weight: u64) -> EdgeId {

@@ -26,6 +26,51 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
     b.build()
 }
 
+/// Erdős–Rényi `G(n, p)` via Batagelj–Brandes geometric skip sampling:
+/// `O(n + m)` work instead of [`gnp`]'s `O(n²)` coin flips, which is
+/// what makes million- and ten-million-node instances generable at all.
+///
+/// Samples the same distribution as [`gnp`] but consumes the RNG
+/// differently (one draw per *edge*, not per pair), so the two produce
+/// different graphs from the same seed. [`gnp`] stays as-is because the
+/// engine's gnp-1000 fingerprints pin its exact RNG consumption.
+pub fn gnp_skip<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+    let mut b = GraphBuilder::with_nodes(n);
+    if n < 2 || p <= 0.0 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.add_edge_unchecked(NodeId(u), NodeId(v));
+            }
+        }
+        return b.build();
+    }
+    // Enumerate the upper triangle row by row (v > w), jumping ahead by
+    // a Geometric(p) skip per present edge: each pair is visited at most
+    // once and each emitted edge is unique, so the unchecked fast path
+    // on the builder is sound.
+    let log_q = (1.0 - p).ln();
+    let mut v: usize = 1;
+    let mut w: i64 = -1;
+    while v < n {
+        let r: f64 = rng.random();
+        // `1 - r` is in (0, 1], so the log is finite and non-positive.
+        let skip = ((1.0 - r).ln() / log_q).floor() as i64;
+        w += 1 + skip;
+        while w >= v as i64 && v < n {
+            w -= v as i64;
+            v += 1;
+        }
+        if v < n {
+            b.add_edge_unchecked(NodeId(w as u32), NodeId(v as u32));
+        }
+    }
+    b.build()
+}
+
 /// Random `d`-regular graph via the configuration (pairing) model,
 /// retrying until a simple pairing is found.
 ///
@@ -400,6 +445,58 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         assert_eq!(gnp(10, 0.0, &mut rng).num_edges(), 0);
         assert_eq!(gnp(10, 1.0, &mut rng).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_skip_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(gnp_skip(10, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(gnp_skip(10, 1.0, &mut rng).num_edges(), 45);
+        assert_eq!(gnp_skip(1, 0.5, &mut rng).num_edges(), 0);
+        assert_eq!(gnp_skip(0, 0.5, &mut rng).num_edges(), 0);
+    }
+
+    #[test]
+    fn gnp_skip_is_simple_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 500;
+        let g = gnp_skip(n, 0.02, &mut rng);
+        let mut seen = std::collections::BTreeSet::new();
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            assert!(u < v, "endpoints normalized");
+            assert!(v.index() < n, "endpoint in range");
+            assert!(seen.insert((u, v)), "duplicate edge {u}-{v}");
+        }
+    }
+
+    #[test]
+    fn gnp_skip_edge_count_matches_expectation() {
+        // n=2000, p=0.005: E[m] = p·n(n-1)/2 ≈ 9995, σ ≈ 100. A ±6σ
+        // window makes a false failure astronomically unlikely while
+        // still catching an off-by-row enumeration bug (which shifts the
+        // count by Θ(n)).
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 2000usize;
+        let p = 0.005f64;
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let sigma = (expect * (1.0 - p)).sqrt();
+        let m = gnp_skip(n, p, &mut rng).num_edges() as f64;
+        assert!(
+            (m - expect).abs() <= 6.0 * sigma,
+            "edge count {m} too far from expectation {expect}"
+        );
+    }
+
+    #[test]
+    fn gnp_skip_is_deterministic_per_seed() {
+        let a = gnp_skip(300, 0.03, &mut SmallRng::seed_from_u64(9));
+        let b = gnp_skip(300, 0.03, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert!(a
+            .edges()
+            .zip(b.edges())
+            .all(|(x, y)| a.endpoints(x) == b.endpoints(y)));
     }
 
     #[test]

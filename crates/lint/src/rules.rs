@@ -601,7 +601,8 @@ pub struct MsgType {
 }
 
 /// R6: each discovered message type must appear in the generated size
-/// test.
+/// test, and its declaring file must implement `PackedMsg` for it —
+/// the packed planes cannot carry a type without a wire format.
 fn rule_msg_size_coverage(
     msg_types: &[MsgType],
     files: &[SourceFile],
@@ -620,6 +621,23 @@ fn rule_msg_size_coverage(
                      regenerate it with `cargo run -p congest-lint -- \
                      --emit-msg-size-test > {MSG_SIZE_TEST_PATH}`",
                     m.name
+                ),
+            });
+        }
+        let packed_impl = format!("impl PackedMsg for {}", m.name);
+        let has_impl = files
+            .iter()
+            .any(|f| f.rel_path == m.file && f.src.contains(&packed_impl));
+        if !has_impl {
+            diags.push(Diagnostic {
+                file: m.file.clone(),
+                line: m.line,
+                rule: MSG_SIZE_COVERAGE,
+                message: format!(
+                    "message type `{}` has no `impl PackedMsg for {}` in its \
+                     declaring file; the packed message planes require a \
+                     ≤ 64-bit wire format for every protocol message",
+                    m.name, m.name
                 ),
             });
         }
@@ -842,11 +860,24 @@ mod tests {
 
     #[test]
     fn msg_types_need_size_coverage() {
-        let proto = file("crates/mis/src/x.rs", "pub enum FooMsg { A }\n");
+        // No size-test entry and no PackedMsg impl: two findings.
+        let bare = file("crates/mis/src/x.rs", "pub enum FooMsg { A }\n");
+        let d = lint_files(std::slice::from_ref(&bare));
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == MSG_SIZE_COVERAGE));
+        // With the impl in the declaring file, only the missing size-test
+        // entry remains.
+        let proto = file(
+            "crates/mis/src/x.rs",
+            "pub enum FooMsg { A }\nimpl PackedMsg for FooMsg {}\n",
+        );
         let d = lint_files(std::slice::from_ref(&proto));
-        assert_eq!(d.len(), 1);
+        assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].rule, MSG_SIZE_COVERAGE);
-        let mut covered = file(MSG_SIZE_TEST_PATH, "size_of::<congest_mis::FooMsg>()\n");
+        let mut covered = file(
+            MSG_SIZE_TEST_PATH,
+            "<congest_mis::FooMsg as PackedMsg>::BITS\n",
+        );
         covered.unit = "integration-tests".to_string();
         covered.is_test_file = true;
         assert!(lint_files(&[proto, covered]).is_empty());

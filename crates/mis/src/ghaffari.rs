@@ -20,7 +20,7 @@
 //! to the set with probability at least `1 − δ` — the
 //! `O(log Δ / log log Δ)` engine behind the fast matching algorithms.
 
-use congest_sim::{Context, Inbox, Message, Protocol, Status};
+use congest_sim::{Context, Inbox, Message, PackedMsg, Protocol, Status};
 use rand::Rng;
 
 use crate::MisResult;
@@ -104,6 +104,31 @@ impl Message for NmisMsg {
     }
 }
 
+/// Wire format: 2-bit variant tag in the low bits; `PExp` carries its
+/// 16-bit exponent above the tag. 18 bits total — the engine's budget
+/// meter still charges [`bit_size`](Message::bit_size), this is the frame.
+impl PackedMsg for NmisMsg {
+    const BITS: u32 = 18;
+
+    fn pack(&self) -> u64 {
+        match self {
+            NmisMsg::PExp(j) => u64::from(*j) << 2,
+            NmisMsg::Marked => 1,
+            NmisMsg::Joined => 2,
+            NmisMsg::Covered => 3,
+        }
+    }
+
+    fn unpack(word: u64) -> Self {
+        match word & 0b11 {
+            0 => NmisMsg::PExp((word >> 2) as u16),
+            1 => NmisMsg::Marked,
+            2 => NmisMsg::Joined,
+            _ => NmisMsg::Covered,
+        }
+    }
+}
+
 /// Nearly-maximal independent set as a CONGEST [`Protocol`].
 ///
 /// Outputs [`MisResult::InSet`] / [`MisResult::Dominated`], or
@@ -166,7 +191,7 @@ impl Protocol for NearlyMaximalIs {
                 // (delays, duplicates, reordering) other variants can arrive
                 // off-phase and must not be mistaken for coverage.
                 for (port, msg) in inbox {
-                    if *msg == NmisMsg::Covered {
+                    if msg == NmisMsg::Covered {
                         self.active[port] = false;
                     }
                 }
@@ -188,7 +213,7 @@ impl Protocol for NearlyMaximalIs {
                     .iter()
                     .filter_map(|(_, msg)| {
                         let NmisMsg::PExp(j) = msg else { return None };
-                        Some(k.powi(-i32::from(*j)))
+                        Some(k.powi(-i32::from(j)))
                     })
                     .sum();
                 let p = self.p();
@@ -201,7 +226,7 @@ impl Protocol for NearlyMaximalIs {
             }
             2 => {
                 // Join iff marked with no marked neighbor.
-                let neighbor_marked = inbox.iter().any(|(_, m)| *m == NmisMsg::Marked);
+                let neighbor_marked = inbox.iter().any(|(_, m)| m == NmisMsg::Marked);
                 if self.marked && !neighbor_marked {
                     let active = self.active.clone();
                     ctx.broadcast_filtered(NmisMsg::Joined, |p| active[p]);
@@ -211,7 +236,7 @@ impl Protocol for NearlyMaximalIs {
             }
             _ => {
                 // Leave if dominated; otherwise adjust the probability.
-                if inbox.iter().any(|(_, m)| *m == NmisMsg::Joined) {
+                if inbox.iter().any(|(_, m)| m == NmisMsg::Joined) {
                     let active = self.active.clone();
                     ctx.broadcast_filtered(NmisMsg::Covered, |p| active[p]);
                     return Status::Halt(MisResult::Dominated);

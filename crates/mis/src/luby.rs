@@ -8,7 +8,7 @@
 //! paper plugs into its `O(MIS(G) · log W)` bound for the CONGEST model.
 
 use congest_graph::NodeId;
-use congest_sim::{bits_for_value, Context, Inbox, Message, Protocol, Status};
+use congest_sim::{bits_for_value, Context, Inbox, Message, PackedMsg, Protocol, Status};
 use rand::Rng;
 
 use crate::MisResult;
@@ -29,6 +29,32 @@ impl Message for LubyMsg {
         match self {
             LubyMsg::Priority(p) => 2 + bits_for_value(*p),
             LubyMsg::Joined | LubyMsg::Covered => 2,
+        }
+    }
+}
+
+/// Wire format: 2-bit variant tag in the low bits, the priority above it.
+/// Priorities live in `[0, n³) ∩ [0, 2⁶²)` ([`LubyMis::priority_domain`]
+/// caps the domain), so the 62 payload bits are exact, not truncating.
+impl PackedMsg for LubyMsg {
+    const BITS: u32 = 64;
+
+    fn pack(&self) -> u64 {
+        match self {
+            LubyMsg::Priority(p) => {
+                debug_assert!(*p < 1 << 62, "priority exceeds the 62-bit wire field");
+                p << 2
+            }
+            LubyMsg::Joined => 1,
+            LubyMsg::Covered => 2,
+        }
+    }
+
+    fn unpack(word: u64) -> Self {
+        match word & 0b11 {
+            0 => LubyMsg::Priority(word >> 2),
+            1 => LubyMsg::Joined,
+            _ => LubyMsg::Covered,
         }
     }
 }
@@ -61,7 +87,10 @@ impl LubyMis {
 
     fn priority_domain(n: usize) -> u64 {
         let n = n.max(2) as u64;
-        n.saturating_mul(n).saturating_mul(n)
+        // Capped at the wire format's 62-bit priority field — only graphs
+        // beyond n ≈ 1.6M even notice, and the tie probability stays
+        // vanishing (ties break on node id regardless).
+        n.saturating_mul(n).saturating_mul(n).min(1 << 62)
     }
 }
 
@@ -88,7 +117,7 @@ impl Protocol for LubyMis {
                 // messages can arrive off-phase and must not be mistaken for
                 // coverage. Fault-free, every message here *is* `Covered`.
                 for (port, msg) in inbox {
-                    if *msg == LubyMsg::Covered {
+                    if msg == LubyMsg::Covered {
                         self.active[port] = false;
                     }
                 }
@@ -111,7 +140,7 @@ impl Protocol for LubyMis {
                     // the fault adversary a delayed or duplicated message of
                     // another variant may slip in — ignore it.
                     let LubyMsg::Priority(p) = msg else { continue };
-                    let them: (u64, NodeId) = (*p, ctx.neighbor(port));
+                    let them: (u64, NodeId) = (p, ctx.neighbor(port));
                     if them > me {
                         won = false;
                     }
@@ -126,7 +155,7 @@ impl Protocol for LubyMis {
             }
             _ => {
                 // Cover: leave if any neighbor joined.
-                if inbox.iter().any(|(_, m)| *m == LubyMsg::Joined) {
+                if inbox.iter().any(|(_, m)| m == LubyMsg::Joined) {
                     let active = self.active.clone();
                     ctx.broadcast_filtered(LubyMsg::Covered, |p| active[p]);
                     Status::Halt(MisResult::Dominated)

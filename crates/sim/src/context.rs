@@ -1,21 +1,33 @@
+use std::marker::PhantomData;
+
 use congest_graph::NodeId;
 use rand::rngs::SmallRng;
 
-use crate::{Message, NodeInfo, Port};
+use crate::{NodeInfo, PackedMsg, Port};
 
 /// Per-round execution context handed to a [`Protocol`](crate::Protocol).
 ///
 /// Provides the node's static information, its private RNG, the current
 /// round number, and the send operations. The engine enforces the CONGEST
 /// discipline of *at most one message per port per round*.
-pub struct Context<'a, M: Message> {
+///
+/// Sends are packed eagerly: [`send`](Context::send) serializes the message
+/// into its 64-bit wire word (see [`PackedMsg`]) and writes it straight
+/// into the node's send-plane row, setting the port's occupancy bit. A
+/// broadcast therefore packs **once** and fans the word out — no clones.
+pub struct Context<'a, M: PackedMsg> {
     pub(crate) info: &'a NodeInfo<'a>,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) round: usize,
-    pub(crate) outbox: &'a mut [Option<M>],
+    /// This node's send-plane payload row (one word per port).
+    pub(crate) out_words: &'a mut [u64],
+    /// This node's send-plane occupancy words (bit `p % 64` of word
+    /// `p / 64` ⇔ port `p` carries a message).
+    pub(crate) out_occ: &'a mut [u64],
+    pub(crate) _msg: PhantomData<fn(M)>,
 }
 
-impl<'a, M: Message> Context<'a, M> {
+impl<'a, M: PackedMsg> Context<'a, M> {
     /// This node's id.
     #[inline]
     pub fn id(&self) -> NodeId {
@@ -59,55 +71,67 @@ impl<'a, M: Message> Context<'a, M> {
         self.info.edge_weights[port]
     }
 
-    /// Sends `msg` through `port` this round.
-    ///
-    /// # Panics
-    /// Panics if a message was already sent through `port` this round
-    /// (CONGEST permits one message per edge per round) or if `port` is out
-    /// of range.
-    pub fn send(&mut self, port: Port, msg: M) {
+    /// Writes a pre-packed word through `port`, enforcing the
+    /// one-message-per-port rule via the occupancy bit.
+    #[inline]
+    fn place_word(&mut self, port: Port, word: u64) {
+        let mask = 1u64 << (port % 64);
         assert!(
-            self.outbox[port].is_none(),
+            self.out_occ[port / 64] & mask == 0,
             "node {} sent two messages through port {} in round {}",
             self.info.id,
             port,
             self.round
         );
-        self.outbox[port] = Some(msg);
+        self.out_occ[port / 64] |= mask;
+        self.out_words[port] = word;
+    }
+
+    /// Sends `msg` through `port` this round.
+    ///
+    /// The message logically moves into the send plane — it is serialized
+    /// to its packed word on the spot, so the by-value signature costs
+    /// nothing and keeps every protocol call site borrow-free.
+    ///
+    /// # Panics
+    /// Panics if a message was already sent through `port` this round
+    /// (CONGEST permits one message per edge per round) or if `port` is out
+    /// of range.
+    #[allow(clippy::needless_pass_by_value)]
+    pub fn send(&mut self, port: Port, msg: M) {
+        assert!(port < self.out_words.len(), "port {port} out of range");
+        self.place_word(port, msg.pack());
     }
 
     /// Sends `msg` through every port (a CONGEST-legal broadcast: each
-    /// edge still carries exactly one message). The final port receives
-    /// `msg` itself, so a degree-`d` broadcast clones `d − 1` times, not
-    /// `d`.
+    /// edge still carries exactly one message). The message is packed once
+    /// and the resulting word fanned out to all ports — a degree-`d`
+    /// broadcast costs `d` word writes, zero clones.
     ///
     /// # Panics
     /// Panics if any port already carries a message this round.
+    #[allow(clippy::needless_pass_by_value)] // moves into the plane, as in `send`
     pub fn broadcast(&mut self, msg: M) {
-        let ports = self.outbox.len();
+        let ports = self.out_words.len();
         if ports == 0 {
             return;
         }
-        for port in 0..ports - 1 {
-            self.send(port, msg.clone());
+        let word = msg.pack();
+        for port in 0..ports {
+            self.place_word(port, word);
         }
-        self.send(ports - 1, msg);
     }
 
-    /// Sends `msg` through every port for which `filter` returns true,
-    /// moving (not cloning) it into the last selected port. `filter` is
-    /// called once per port, in ascending port order.
+    /// Sends `msg` through every port for which `filter` returns true.
+    /// `filter` is called once per port, in ascending port order; the
+    /// message is packed once regardless of how many ports are selected.
+    #[allow(clippy::needless_pass_by_value)] // moves into the plane, as in `send`
     pub fn broadcast_filtered(&mut self, msg: M, mut filter: impl FnMut(Port) -> bool) {
-        let mut pending: Option<Port> = None;
-        for port in 0..self.outbox.len() {
+        let word = msg.pack();
+        for port in 0..self.out_words.len() {
             if filter(port) {
-                if let Some(prev) = pending.replace(port) {
-                    self.send(prev, msg.clone());
-                }
+                self.place_word(port, word);
             }
-        }
-        if let Some(last) = pending {
-            self.send(last, msg);
         }
     }
 }
@@ -134,18 +158,21 @@ mod tests {
     fn send_and_broadcast() {
         let info = info();
         let mut rng = node_rng(1, NodeId(3));
-        let mut outbox: Vec<Option<u64>> = vec![None, None];
-        let mut ctx = Context {
+        let mut words = [0u64; 2];
+        let mut occ = [0u64; 1];
+        let mut ctx: Context<'_, u64> = Context {
             info: &info,
             rng: &mut rng,
             round: 1,
-            outbox: &mut outbox,
+            out_words: &mut words,
+            out_occ: &mut occ,
+            _msg: PhantomData,
         };
         assert_eq!(ctx.neighbor(1), NodeId(7));
         assert_eq!(ctx.edge_weight(0), 4);
         ctx.send(0, 42);
-        assert_eq!(outbox[0], Some(42));
-        assert_eq!(outbox[1], None);
+        assert_eq!(words, [42, 0]);
+        assert_eq!(occ, [0b01]);
     }
 
     #[test]
@@ -153,14 +180,36 @@ mod tests {
     fn double_send_panics() {
         let info = info();
         let mut rng = node_rng(1, NodeId(3));
-        let mut outbox: Vec<Option<u64>> = vec![None, None];
-        let mut ctx = Context {
+        let mut words = [0u64; 2];
+        let mut occ = [0u64; 1];
+        let mut ctx: Context<'_, u64> = Context {
             info: &info,
             rng: &mut rng,
             round: 1,
-            outbox: &mut outbox,
+            out_words: &mut words,
+            out_occ: &mut occ,
+            _msg: PhantomData,
         };
         ctx.send(0, 1);
         ctx.send(0, 2);
+    }
+
+    #[test]
+    fn broadcast_sets_all_bits_once() {
+        let info = info();
+        let mut rng = node_rng(1, NodeId(3));
+        let mut words = [0u64; 2];
+        let mut occ = [0u64; 1];
+        let mut ctx: Context<'_, u32> = Context {
+            info: &info,
+            rng: &mut rng,
+            round: 2,
+            out_words: &mut words,
+            out_occ: &mut occ,
+            _msg: PhantomData,
+        };
+        ctx.broadcast(9);
+        assert_eq!(words, [9, 9]);
+        assert_eq!(occ, [0b11]);
     }
 }

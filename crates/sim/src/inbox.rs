@@ -1,28 +1,41 @@
-use crate::Port;
+use std::marker::PhantomData;
+
+use crate::{PackedMsg, Port};
 
 /// Port-indexed view of the messages one node received this round.
 ///
-/// The engine keeps all in-flight messages in two flat *message planes*
-/// shaped exactly like the graph's CSR adjacency block (see
-/// [`congest_graph::Graph::row_offsets`]): slot `row_offsets[v] + p` of a
-/// plane belongs to port `p` of node `v`. An `Inbox` is a zero-copy view of
-/// one node's row in the receive plane — `cells[p]` is `Some(msg)` iff the
-/// neighbor behind port `p` sent `msg` in the previous round.
+/// The engine keeps all in-flight messages in flat *message planes* shaped
+/// exactly like the graph's CSR adjacency block (see
+/// [`congest_graph::Graph::row_offsets`]): word `row_offsets[v] + p` of a
+/// plane's payload array belongs to port `p` of node `v`, and one bit of
+/// the plane's occupancy bitmap says whether that word holds a message.
+/// An `Inbox` is a zero-copy view of one node's payload row plus its
+/// (word-aligned) occupancy row — port `p` carries a message iff bit
+/// `p % 64` of occupancy word `p / 64` is set, in which case the payload
+/// word unpacks via [`PackedMsg::unpack`].
 ///
 /// # Port ordering guarantee
 ///
-/// [`iter`](Inbox::iter) yields `(port, &msg)` pairs in strictly ascending
-/// port order. This is structural (the row *is* indexed by port), not the
+/// [`iter`](Inbox::iter) yields `(port, msg)` pairs in strictly ascending
+/// port order. This is structural (the row *is* indexed by port and the
+/// scan walks occupancy words low-bit-first via `trailing_zeros`), not the
 /// result of a sort, so it costs nothing and can never be violated by a
-/// delivery-order bug. Protocols that used to rely on the engine sorting
-/// `&[(Port, Msg)]` inboxes get the same order for free, plus O(1) random
-/// access by port via [`get`](Inbox::get).
+/// delivery-order bug. Silent ports cost one skipped zero bit, not a cell
+/// inspection: a mostly-empty inbox is scanned in `degree / 64` word
+/// tests.
 #[derive(Debug)]
 pub struct Inbox<'a, M> {
-    cells: &'a [Option<M>],
+    /// Payload words, one per port (`len == degree`). Words of silent
+    /// ports are stale garbage — the occupancy bit is the only truth.
+    words: &'a [u64],
+    /// Occupancy words covering the row: bit `p % 64` of `occ[p / 64]` is
+    /// set iff port `p` received a message. Bits at or above `words.len()`
+    /// are always zero.
+    occ: &'a [u64],
+    _msg: PhantomData<fn() -> M>,
 }
 
-// Manual impls: an `Inbox` is one shared slice reference, copyable no
+// Manual impls: an `Inbox` is two shared slice references, copyable no
 // matter what `M` is (a derive would demand `M: Copy`).
 impl<M> Clone for Inbox<'_, M> {
     fn clone(&self) -> Self {
@@ -32,53 +45,85 @@ impl<M> Clone for Inbox<'_, M> {
 impl<M> Copy for Inbox<'_, M> {}
 
 impl<'a, M> Inbox<'a, M> {
-    /// Wraps a port-indexed row of message cells (`cells[p]` = the message
-    /// received through port `p`, if any). The engine calls this with a row
+    /// Wraps a port-indexed payload row and its occupancy words
+    /// (`occ.len() == words.len().div_ceil(64)`; occupancy bits at or
+    /// above `words.len()` must be zero). The engine calls this with rows
     /// of its receive plane; tests and custom harnesses may build one from
-    /// any slice whose length is the node's degree.
+    /// any pair of slices satisfying the invariant.
     #[inline]
-    pub fn new(cells: &'a [Option<M>]) -> Self {
-        Inbox { cells }
+    pub fn new(words: &'a [u64], occ: &'a [u64]) -> Self {
+        debug_assert_eq!(occ.len(), words.len().div_ceil(64));
+        debug_assert!(
+            words.len().is_multiple_of(64)
+                || occ.last().is_none_or(|w| w >> (words.len() % 64) == 0),
+            "occupancy bits beyond the port range must be zero"
+        );
+        Inbox {
+            words,
+            occ,
+            _msg: PhantomData,
+        }
     }
 
     /// Number of ports of the receiving node (= its degree), whether or not
     /// a message arrived on them.
     #[inline]
     pub fn num_ports(&self) -> usize {
-        self.cells.len()
+        self.words.len()
     }
 
-    /// The message received through `port` this round, if any. Returns
-    /// `None` both for silent ports and for out-of-range ports.
+    /// Number of messages received this round: a popcount over the
+    /// occupancy words, `O(degree / 64)`.
     #[inline]
-    pub fn get(&self, port: Port) -> Option<&'a M> {
-        self.cells.get(port).and_then(Option::as_ref)
+    pub fn received_count(&self) -> usize {
+        self.occ.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Number of messages received this round (`O(degree)` scan).
+    /// Alias of [`received_count`](Self::received_count).
     #[inline]
     pub fn len(&self) -> usize {
-        self.cells.iter().filter(|c| c.is_some()).count()
+        self.received_count()
     }
 
-    /// Whether no message arrived this round.
+    /// Whether no message arrived this round (`O(degree / 64)` word
+    /// tests).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.cells.iter().all(Option::is_none)
+        self.occ.iter().all(|&w| w == 0)
+    }
+}
+
+impl<'a, M: PackedMsg> Inbox<'a, M> {
+    /// The message received through `port` this round, if any — unpacked
+    /// by value. Returns `None` both for silent ports and for
+    /// out-of-range ports.
+    #[inline]
+    pub fn get(&self, port: Port) -> Option<M> {
+        if port < self.words.len() && self.occ[port / 64] & (1u64 << (port % 64)) != 0 {
+            Some(M::unpack(self.words[port]))
+        } else {
+            None
+        }
     }
 
-    /// Iterates over the received messages as `(port, &msg)` pairs, in
-    /// ascending port order (see the type-level ordering guarantee).
+    /// Iterates over the received messages as `(port, msg)` pairs, in
+    /// ascending port order (see the type-level ordering guarantee),
+    /// unpacking each payload word on the fly. Empty stretches are skipped
+    /// 64 ports at a time via `u64::trailing_zeros`.
     #[inline]
     pub fn iter(&self) -> InboxIter<'a, M> {
         InboxIter {
-            inner: self.cells.iter().enumerate(),
+            words: self.words,
+            occ: self.occ,
+            word_idx: 0,
+            pending: self.occ.first().copied().unwrap_or(0),
+            _msg: PhantomData,
         }
     }
 }
 
-impl<'a, M> IntoIterator for Inbox<'a, M> {
-    type Item = (Port, &'a M);
+impl<'a, M: PackedMsg> IntoIterator for Inbox<'a, M> {
+    type Item = (Port, M);
     type IntoIter = InboxIter<'a, M>;
 
     #[inline]
@@ -87,8 +132,8 @@ impl<'a, M> IntoIterator for Inbox<'a, M> {
     }
 }
 
-impl<'a, M> IntoIterator for &Inbox<'a, M> {
-    type Item = (Port, &'a M);
+impl<'a, M: PackedMsg> IntoIterator for &Inbox<'a, M> {
+    type Item = (Port, M);
     type IntoIter = InboxIter<'a, M>;
 
     #[inline]
@@ -97,89 +142,158 @@ impl<'a, M> IntoIterator for &Inbox<'a, M> {
     }
 }
 
-/// Iterator over an [`Inbox`], yielding `(port, &msg)` in ascending port
-/// order.
+/// Iterator over an [`Inbox`], yielding `(port, msg)` in ascending port
+/// order via a `trailing_zeros` scan of the occupancy words.
 #[derive(Debug)]
 pub struct InboxIter<'a, M> {
-    inner: std::iter::Enumerate<std::slice::Iter<'a, Option<M>>>,
+    words: &'a [u64],
+    occ: &'a [u64],
+    /// Index of the occupancy word `pending` was loaded from.
+    word_idx: usize,
+    /// Unvisited bits of occupancy word `word_idx`.
+    pending: u64,
+    _msg: PhantomData<fn() -> M>,
 }
 
 impl<M> Clone for InboxIter<'_, M> {
     fn clone(&self) -> Self {
         InboxIter {
-            inner: self.inner.clone(),
+            words: self.words,
+            occ: self.occ,
+            word_idx: self.word_idx,
+            pending: self.pending,
+            _msg: PhantomData,
         }
     }
 }
 
-impl<'a, M> Iterator for InboxIter<'a, M> {
-    type Item = (Port, &'a M);
+impl<'a, M: PackedMsg> Iterator for InboxIter<'a, M> {
+    type Item = (Port, M);
 
     #[inline]
-    fn next(&mut self) -> Option<(Port, &'a M)> {
-        for (port, cell) in self.inner.by_ref() {
-            if let Some(msg) = cell {
-                return Some((port, msg));
+    fn next(&mut self) -> Option<(Port, M)> {
+        while self.pending == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.occ.len() {
+                return None;
             }
+            self.pending = self.occ[self.word_idx];
         }
-        None
+        let bit = self.pending.trailing_zeros() as usize;
+        // Clear the lowest set bit.
+        self.pending &= self.pending - 1;
+        let port = self.word_idx * 64 + bit;
+        Some((port, M::unpack(self.words[port])))
     }
 
     #[inline]
     fn size_hint(&self) -> (usize, Option<usize>) {
-        // At most one message per remaining port.
-        (0, self.inner.size_hint().1)
+        let remaining = self.pending.count_ones() as usize
+            + self.occ[(self.word_idx + 1).min(self.occ.len())..]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>();
+        (remaining, Some(remaining))
     }
 }
+
+impl<M: PackedMsg> ExactSizeIterator for InboxIter<'_, M> {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Builds the (words, occ) pair an engine row would hold for the given
+    /// port-indexed `Option` view — the shape the old `Option<M>` plane
+    /// stored directly.
+    fn rows<M: PackedMsg>(cells: &[Option<M>]) -> (Vec<u64>, Vec<u64>) {
+        let mut words = vec![0u64; cells.len()];
+        let mut occ = vec![0u64; cells.len().div_ceil(64)];
+        for (p, cell) in cells.iter().enumerate() {
+            if let Some(m) = cell {
+                words[p] = m.pack();
+                occ[p / 64] |= 1 << (p % 64);
+            }
+        }
+        (words, occ)
+    }
+
     #[test]
     fn iterates_in_port_order_skipping_silent_ports() {
-        let cells = [None, Some(10u64), None, Some(30), Some(40)];
-        let inbox = Inbox::new(&cells);
+        let (words, occ) = rows(&[None, Some(10u64), None, Some(30), Some(40)]);
+        let inbox: Inbox<'_, u64> = Inbox::new(&words, &occ);
         assert_eq!(inbox.num_ports(), 5);
         assert_eq!(inbox.len(), 3);
+        assert_eq!(inbox.received_count(), 3);
         assert!(!inbox.is_empty());
-        let got: Vec<(Port, u64)> = inbox.iter().map(|(p, m)| (p, *m)).collect();
+        let got: Vec<(Port, u64)> = inbox.iter().collect();
         assert_eq!(got, vec![(1, 10), (3, 30), (4, 40)]);
+        assert_eq!(inbox.iter().len(), 3);
     }
 
     #[test]
     fn get_is_total() {
-        let cells = [Some(7u32), None];
-        let inbox = Inbox::new(&cells);
-        assert_eq!(inbox.get(0), Some(&7));
+        let (words, occ) = rows(&[Some(7u32), None]);
+        let inbox: Inbox<'_, u32> = Inbox::new(&words, &occ);
+        assert_eq!(inbox.get(0), Some(7));
         assert_eq!(inbox.get(1), None);
         assert_eq!(inbox.get(99), None);
     }
 
     #[test]
     fn empty_inbox() {
-        let cells: [Option<u32>; 3] = [None, None, None];
-        let inbox = Inbox::new(&cells);
+        let (words, occ) = rows(&[None::<u32>, None, None]);
+        let inbox: Inbox<'_, u32> = Inbox::new(&words, &occ);
         assert!(inbox.is_empty());
         assert_eq!(inbox.len(), 0);
         assert_eq!(inbox.iter().count(), 0);
-        // A degree-0 node has an empty row.
-        let inbox = Inbox::<u32>::new(&[]);
+        // A degree-0 node has an empty row and no occupancy words.
+        let inbox = Inbox::<u32>::new(&[], &[]);
         assert!(inbox.is_empty());
         assert_eq!(inbox.num_ports(), 0);
+        assert_eq!(inbox.iter().count(), 0);
+    }
+
+    #[test]
+    fn spans_multiple_occupancy_words() {
+        // 130 ports: messages at 0, 63, 64, 129 exercise word boundaries.
+        let mut cells: Vec<Option<u64>> = vec![None; 130];
+        for p in [0usize, 63, 64, 129] {
+            cells[p] = Some(p as u64 * 3);
+        }
+        let (words, occ) = rows(&cells);
+        assert_eq!(occ.len(), 3);
+        let inbox: Inbox<'_, u64> = Inbox::new(&words, &occ);
+        assert_eq!(inbox.received_count(), 4);
+        let got: Vec<(Port, u64)> = inbox.iter().collect();
+        assert_eq!(got, vec![(0, 0), (63, 189), (64, 192), (129, 387)]);
+        assert_eq!(inbox.get(63), Some(189));
+        assert_eq!(inbox.get(65), None);
     }
 
     #[test]
     fn for_loop_over_value_and_reference() {
-        let cells = [Some(1u32), Some(2)];
-        let inbox = Inbox::new(&cells);
+        let (words, occ) = rows(&[Some(1u32), Some(2)]);
+        let inbox: Inbox<'_, u32> = Inbox::new(&words, &occ);
         let mut sum = 0;
         for (port, msg) in &inbox {
-            sum += *msg as usize + port;
+            sum += msg as usize + port;
         }
         for (port, msg) in inbox {
-            sum += *msg as usize + port;
+            sum += msg as usize + port;
         }
         assert_eq!(sum, 8);
+    }
+
+    #[test]
+    fn zero_payload_with_set_bit_is_a_message() {
+        // The whole point of the occupancy bitmap: a packed word of 0 is a
+        // perfectly valid message (e.g. `0u64`), distinguishable from
+        // silence only by its bit.
+        let (words, occ) = rows(&[Some(0u64), None]);
+        let inbox: Inbox<'_, u64> = Inbox::new(&words, &occ);
+        assert_eq!(inbox.get(0), Some(0));
+        assert_eq!(inbox.get(1), None);
+        assert_eq!(inbox.received_count(), 1);
     }
 }

@@ -15,7 +15,9 @@
 //!   latency, until all nodes halt (or a round cap is hit).
 //! * [`Message`] — messages carry a *bit size* so the engine can meter the
 //!   CONGEST `O(log n)` budget ([`RunStats::max_message_bits`],
-//!   [`RunStats::budget_violations`]).
+//!   [`RunStats::budget_violations`]); [`PackedMsg`] additionally fixes
+//!   each message type's ≤ 64-bit wire format, which is what the planes
+//!   store.
 //! * Reproducibility — every node derives its own RNG from the master seed
 //!   via [`rng::node_rng`], so runs are bit-for-bit repeatable.
 //! * Fault injection — an optional seeded [`Adversary`] drops, duplicates,
@@ -37,13 +39,16 @@
 //! struct of slices borrowed from the graph's flat CSR adjacency — see
 //! its docs for the borrow contract.
 //!
-//! Messages move through two flat *message planes* shaped like the same
-//! CSR block (one cell per directed edge): a node's sends fill its row of
-//! the send plane, and delivery scatters each message into the receiver's
-//! row of the receive plane, which the receiver observes next round as a
-//! port-indexed [`Inbox`]. Rows are preallocated once per run, so the
-//! steady-state round loop allocates nothing and inboxes arrive
-//! port-ordered without sorting.
+//! Messages move through flat *message planes* shaped like the same CSR
+//! block — one packed 64-bit payload word per directed edge (see
+//! [`PackedMsg`]) plus a per-node occupancy bitmap bit: a node's sends
+//! fill its row of the send plane, and delivery scatters each word into
+//! the receiver's row of the receive plane, which the receiver observes
+//! next round as a port-indexed [`Inbox`]. Planes are preallocated once
+//! per run (≤ 9 bytes per directed edge at average degree 8 — see
+//! [`plane_bytes_for`]), the steady-state round loop allocates nothing,
+//! inboxes arrive port-ordered without sorting, and silent stretches are
+//! skipped 64 ports at a time via the bitmap.
 //!
 //! # Example: flood a token from node 0
 //!
@@ -51,10 +56,17 @@
 //! use congest_graph::generators;
 //! use congest_sim::{Context, Engine, Inbox, Message, Protocol, SimConfig, Status};
 //!
+//! use congest_sim::PackedMsg;
+//!
 //! #[derive(Clone, Debug)]
 //! struct Token;
 //! impl Message for Token {
 //!     fn bit_size(&self) -> usize { 1 }
+//! }
+//! impl PackedMsg for Token {
+//!     const BITS: u32 = 0; // the token's presence is the information
+//!     fn pack(&self) -> u64 { 0 }
+//!     fn unpack(_word: u64) -> Self { Token }
 //! }
 //!
 //! struct Flood { seen: bool }
@@ -90,15 +102,20 @@ mod engine;
 mod fault;
 mod inbox;
 mod message;
+mod packed;
 mod protocol;
 mod sched;
 
 pub mod rng;
 
 pub use context::Context;
-pub use engine::{run_protocol, Engine, MessageTrace, RunOutcome, RunStats, SimConfig};
+pub use engine::{
+    plane_bytes, plane_bytes_for, run_protocol, Engine, MessageTrace, RunOutcome, RunStats,
+    SimConfig,
+};
 pub use fault::Adversary;
 pub use inbox::{Inbox, InboxIter};
 pub use message::{bits_for_count, bits_for_value, Message};
+pub use packed::PackedMsg;
 pub use protocol::{NodeInfo, Port, Protocol, Status};
 pub use sched::{AsyncScheduler, DelayDist, MAX_DELAY};

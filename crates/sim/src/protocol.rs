@@ -2,7 +2,7 @@ use std::fmt::Debug;
 
 use congest_graph::NodeId;
 
-use crate::{Context, Inbox, Message};
+use crate::{Context, Inbox, PackedMsg};
 
 /// A port: the local index of an incident edge at a node (`0..degree`).
 ///
@@ -85,8 +85,11 @@ impl<O> Status<O> {
 /// then [`round`](Protocol::round) every synchronous round with the
 /// messages sent by neighbors in the previous round.
 pub trait Protocol {
-    /// Message type exchanged by this protocol.
-    type Msg: Message;
+    /// Message type exchanged by this protocol. The [`PackedMsg`] bound is
+    /// the CONGEST discipline made structural: every message must state a
+    /// ≤ 64-bit wire format, because the engine's planes store exactly one
+    /// packed word per directed edge.
+    type Msg: PackedMsg;
     /// Per-node output on halting.
     type Output: Clone + Debug;
 

@@ -61,7 +61,7 @@ impl Protocol for Chatter {
     fn round(&mut self, ctx: &mut Context<'_, u64>, inbox: Inbox<'_, u64>) -> Status<()> {
         let mut acc = 0u64;
         for (port, msg) in inbox {
-            acc = acc.wrapping_add(*msg ^ port as u64);
+            acc = acc.wrapping_add(msg ^ port as u64);
         }
         ctx.broadcast(acc);
         Status::Active

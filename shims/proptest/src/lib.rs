@@ -22,8 +22,8 @@ use rand::{Rng, SeedableRng};
 pub mod prelude {
     //! One-stop import mirroring `proptest::prelude::*`.
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
-        Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -114,6 +114,114 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize);
+
+// The rand shim only samples half-open f64 ranges; don't claim the
+// inclusive form.
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+/// Constant strategy, mirroring `proptest::strategy::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a whole-domain strategy, mirroring `proptest::arbitrary`
+/// for the primitives this workspace generates.
+pub trait ArbitraryValue {
+    /// Draws a uniformly random value of the type.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(bool, u32, u64);
+
+// The rand shim's `Standard` stops at u32; derive the narrow types from
+// it.
+impl ArbitraryValue for u8 {
+    fn arbitrary(rng: &mut SmallRng) -> u8 {
+        rng.random::<u32>() as u8
+    }
+}
+
+impl ArbitraryValue for u16 {
+    fn arbitrary(rng: &mut SmallRng) -> u16 {
+        rng.random::<u32>() as u16
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Whole-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Uniform choice among boxed same-valued strategies; built by
+/// [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over `arms` (each equally likely).
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut SmallRng) -> V {
+        let i = rng.random_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Uniform choice among strategies producing the same value type,
+/// mirroring `proptest::prop_oneof!` (unweighted arms only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($arm)),+];
+        $crate::Union::new(arms)
+    }};
+}
 
 macro_rules! impl_tuple_strategy {
     ($($s:ident . $idx:tt),+) => {

@@ -44,10 +44,15 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
         self.for_each_with_workers(crate::current_num_threads(), f);
     }
 
-    /// [`for_each`](Self::for_each) with an explicit worker-count cap;
-    /// exposed crate-internally so tests can drive the scoped-thread path
-    /// on single-core hosts.
-    pub(crate) fn for_each_with_workers<F>(self, max_workers: usize, f: F)
+    /// [`for_each`](Self::for_each) with an explicit worker-count cap.
+    ///
+    /// Public so callers can pin a worker count independent of the host —
+    /// the bench harness sweeps a `threads` column through
+    /// `congest_sim::Engine::run_parallel_with`, and tests drive the
+    /// scoped-thread path on single-core hosts. (The real rayon expresses
+    /// this via a sized `ThreadPool::install`; swapping it in would move
+    /// this cap into pool construction.)
+    pub fn for_each_with_workers<F>(self, max_workers: usize, f: F)
     where
         F: Fn(&mut [T]) + Sync,
     {

@@ -131,8 +131,7 @@ fn max_rounds_zero_means_init_only() {
 fn degree_zero_inbox_views_work_standalone() {
     // `Inbox` is a public type constructible from any row; the degree-0
     // (empty-slice) view must behave like an empty mailbox.
-    let empty: [Option<u64>; 0] = [];
-    let inbox = Inbox::new(&empty);
+    let inbox: Inbox<'_, u64> = Inbox::new(&[], &[]);
     assert_eq!(inbox.num_ports(), 0);
     assert!(inbox.is_empty());
     assert_eq!(inbox.len(), 0);

@@ -41,7 +41,7 @@ impl Protocol for RandomGossip {
             self.acc = self
                 .acc
                 .rotate_left(7)
-                .wrapping_add(*m)
+                .wrapping_add(m)
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ port as u64;
         }

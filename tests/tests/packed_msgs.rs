@@ -1,0 +1,238 @@
+//! Property tests for the packed wire formats (PR 8).
+//!
+//! Every protocol message travels as one `u64` plane word via
+//! [`PackedMsg`]. Two properties must hold for each message type, over its
+//! *entire declared domain* (the same domain the protocol draws from —
+//! priority caps, layer widths, tiebreak widths):
+//!
+//! 1. **Round-trip identity**: `unpack(pack(m)) == m`. A lossy layout
+//!    would silently corrupt protocol state rather than fail loudly.
+//! 2. **BITS honesty**: `pack(m) < 2^BITS`. The declared width is what
+//!    the congest-lint generated pin (`tests/msg_size.rs`) checks against
+//!    the 64-bit plane word, and what the CONGEST O(log n) argument is
+//!    made about — an undeclared high bit would invalidate both.
+//!
+//! A third, engine-level property closes the loop: a *sub-word* packed
+//! protocol (33-bit `RandColorMsg`) must keep the sequential/parallel
+//! executors in bit-for-bit agreement — and replay to the same
+//! fingerprint — across random topologies and fault schedules, exactly
+//! like the Luby properties in `engine_planes.rs` pin for full-word
+//! messages.
+
+use congest_approx::fast::NmisAgg;
+use congest_approx::matching::GroupedMsg;
+use congest_approx::maxis::{Alg2Msg, Alg3Msg};
+use congest_approx::ProposalMsg;
+use congest_coloring::{ColorMsg, RandColorMsg, RandomizedColoring, RecolorMsg};
+use congest_graph::Graph;
+use congest_mis::{LubyMsg, NmisMsg};
+use congest_sim::{Adversary, Engine, PackedMsg, SimConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Asserts both wire-format properties for one sampled message.
+fn roundtrips<M: PackedMsg + PartialEq + std::fmt::Debug>(m: &M) -> Result<(), TestCaseError> {
+    let word = m.pack();
+    prop_assert!(
+        u128::from(word) < 1u128 << M::BITS,
+        "{m:?} packs to {word:#x}, above the declared {} bits",
+        M::BITS
+    );
+    prop_assert_eq!(&M::unpack(word), m);
+    Ok(())
+}
+
+// --- Per-type domain strategies (mirroring each protocol's draws) -------
+
+fn arb_luby() -> impl Strategy<Value = LubyMsg> {
+    prop_oneof![
+        // Priorities live in [0, n³) ∩ [0, 2⁶²).
+        (0u64..1 << 62).prop_map(LubyMsg::Priority),
+        Just(LubyMsg::Joined),
+        Just(LubyMsg::Covered),
+    ]
+}
+
+fn arb_nmis() -> impl Strategy<Value = NmisMsg> {
+    prop_oneof![
+        any::<u16>().prop_map(NmisMsg::PExp),
+        Just(NmisMsg::Marked),
+        Just(NmisMsg::Joined),
+        Just(NmisMsg::Covered),
+    ]
+}
+
+fn arb_color() -> impl Strategy<Value = ColorMsg> {
+    any::<u64>().prop_map(ColorMsg)
+}
+
+fn arb_recolor() -> impl Strategy<Value = RecolorMsg> {
+    any::<u64>().prop_map(RecolorMsg)
+}
+
+fn arb_rand_color() -> impl Strategy<Value = RandColorMsg> {
+    prop_oneof![
+        any::<u32>().prop_map(RandColorMsg::Propose),
+        any::<u32>().prop_map(RandColorMsg::Final),
+    ]
+}
+
+fn arb_proposal() -> impl Strategy<Value = ProposalMsg> {
+    prop_oneof![
+        Just(ProposalMsg::Propose),
+        Just(ProposalMsg::Accept),
+        Just(ProposalMsg::Taken),
+    ]
+}
+
+fn arb_alg2() -> impl Strategy<Value = Alg2Msg> {
+    prop_oneof![
+        // Layers are capped at 7 bits, random-box priorities at 54.
+        (0u32..1 << 7, 0u64..1 << 54).prop_map(|(layer, prio)| Alg2Msg::Compete { layer, prio }),
+        (0u32..1 << 7, any::<u16>(), any::<bool>()).prop_map(|(layer, pexp, marked)| {
+            Alg2Msg::CompeteG {
+                layer,
+                pexp,
+                marked,
+            }
+        }),
+        // Weight reductions are bounded by the total weight (< 2⁶¹).
+        (0u64..1 << 61).prop_map(Alg2Msg::Reduce),
+        Just(Alg2Msg::Removed),
+        Just(Alg2Msg::AddedToIs),
+    ]
+}
+
+fn arb_alg3() -> impl Strategy<Value = Alg3Msg> {
+    prop_oneof![
+        any::<u32>().prop_map(Alg3Msg::Color),
+        (0u64..1 << 62).prop_map(Alg3Msg::Reduce),
+        Just(Alg3Msg::Removed),
+        Just(Alg3Msg::AddedToIs),
+    ]
+}
+
+fn arb_grouped() -> impl Strategy<Value = GroupedMsg> {
+    prop_oneof![
+        // Announce: 7-bit layer, 26-bit grouped priority.
+        (0u32..1 << 7, 0u64..1 << 26)
+            .prop_map(|(layer, prio)| GroupedMsg::Announce { layer, prio }),
+        Just(GroupedMsg::ExcludeMax(None)),
+        // ExcludeMax fills the word exactly: 7 + 26 + 28 bits of payload.
+        (0u32..1 << 7, 0u64..1 << 26, 0u64..1 << 28).prop_map(|t| GroupedMsg::ExcludeMax(Some(t))),
+        (0u64..1 << 62).prop_map(GroupedMsg::ReduceSum),
+        (any::<bool>(), any::<bool>())
+            .prop_map(|(side_clear, killed)| GroupedMsg::Resolve { side_clear, killed }),
+    ]
+}
+
+fn arb_nmis_agg() -> impl Strategy<Value = NmisAgg> {
+    prop_oneof![
+        Just(NmisAgg::Empty),
+        any::<bool>().prop_map(NmisAgg::Flag),
+        // Genuine sums are finite and non-negative (sums of powers of
+        // 1/K); zero and subnormals included.
+        (0f64..1e18).prop_map(NmisAgg::Sum),
+        Just(NmisAgg::Sum(0.0)),
+        Just(NmisAgg::Sum(f64::MIN_POSITIVE)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn luby_msgs_roundtrip(m in arb_luby()) { roundtrips(&m)?; }
+
+    #[test]
+    fn nmis_msgs_roundtrip(m in arb_nmis()) { roundtrips(&m)?; }
+
+    #[test]
+    fn color_msgs_roundtrip(m in arb_color()) { roundtrips(&m)?; }
+
+    #[test]
+    fn recolor_msgs_roundtrip(m in arb_recolor()) { roundtrips(&m)?; }
+
+    #[test]
+    fn rand_color_msgs_roundtrip(m in arb_rand_color()) { roundtrips(&m)?; }
+
+    #[test]
+    fn proposal_msgs_roundtrip(m in arb_proposal()) { roundtrips(&m)?; }
+
+    #[test]
+    fn alg2_msgs_roundtrip(m in arb_alg2()) { roundtrips(&m)?; }
+
+    #[test]
+    fn alg3_msgs_roundtrip(m in arb_alg3()) { roundtrips(&m)?; }
+
+    #[test]
+    fn grouped_msgs_roundtrip(m in arb_grouped()) { roundtrips(&m)?; }
+
+    #[test]
+    fn nmis_agg_roundtrips(m in arb_nmis_agg()) { roundtrips(&m)?; }
+}
+
+// --- Engine-level: sub-word packing through the full delivery path ------
+
+/// Random topology, small enough to keep cases quick but dense enough to
+/// exercise multi-word occupancy rows.
+fn arb_topology() -> impl Strategy<Value = Graph> {
+    (12usize..80, 0u64..1 << 32).prop_map(|(n, seed)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        congest_graph::generators::gnp(n, 0.1, &mut rng)
+    })
+}
+
+/// A light fault schedule: each knob off or on at a meaningful dose (the
+/// exhaustive fault matrix lives in `engine_planes.rs`; here the point is
+/// that 33-bit words survive the same machinery).
+fn arb_adversary() -> impl Strategy<Value = Adversary> {
+    (0u8..2, 0u8..2, 0u64..1 << 16).prop_map(|(drop_i, dup_i, seed)| {
+        Adversary::default()
+            .with_seed(seed)
+            .with_drop_prob([0.0, 0.15][drop_i as usize])
+            .with_dup_prob([0.0, 0.15][dup_i as usize])
+    })
+}
+
+/// FNV-1a over the debug rendering of a run's outputs + stats: a compact
+/// replay fingerprint.
+fn fingerprint(outcome: &impl std::fmt::Debug) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in format!("{outcome:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The 33-bit `RandColorMsg` plane must behave exactly like a
+    /// full-word plane: sequential and parallel executors agree
+    /// bit-for-bit, and rebuilt runs replay to the same fingerprint, on
+    /// every topology and under drop/duplicate faults.
+    #[test]
+    fn subword_planes_agree_across_executors_and_replay(
+        g in arb_topology(),
+        adv in arb_adversary(),
+        seed in 0u64..1 << 20,
+    ) {
+        let config = SimConfig::congest_for(&g)
+            .with_max_rounds(400)
+            .with_adversary(adv);
+        let seq = Engine::build(&g, config.clone(), |_| RandomizedColoring::new()).run(seed);
+        let par =
+            Engine::build(&g, config.clone(), |_| RandomizedColoring::new()).run_parallel(seed);
+        prop_assert_eq!(&seq.outputs, &par.outputs);
+        prop_assert_eq!(&seq.stats, &par.stats);
+        let replay = Engine::build(&g, config, |_| RandomizedColoring::new()).run(seed);
+        // Rebuilt runs must replay to the same fingerprint.
+        prop_assert_eq!(
+            fingerprint(&(&seq.outputs, &seq.stats)),
+            fingerprint(&(&replay.outputs, &replay.stats))
+        );
+    }
+}
