@@ -35,19 +35,26 @@
 //! `--samples N` overrides the per-phase sample count (default 21; CI
 //! uses a tiny count to keep the job cheap — the medians it records are
 //! noisy but the schema is identical).
+//!
+//! `--churn` switches to the dynamic-graph mode: for n ∈ {10⁴, 10⁵} and
+//! k ∈ {16, 256} seeded edge flips it times [`luby_repair`] and
+//! [`grouped_mwm_repair`] against full recomputation on the post-flip
+//! graph, appending rows whose `median_ns` keys are `repair` and
+//! `recompute` (and asserting repair used strictly fewer rounds).
 
 // Wall-clock measurement and CLI parsing are this binary's entire job;
 // the workspace-wide ban (clippy.toml / congest-lint
 // no-ambient-nondeterminism) targets protocol code, not the bench tier.
 #![allow(clippy::disallowed_methods)]
 
-use congest_approx::matching::mwm_grouped;
+use congest_approx::matching::{grouped_mwm_repair, mwm_grouped};
 use congest_approx::maxis::{alg2, Alg2Config};
 use congest_coloring::RandomizedColoring;
-use congest_graph::{generators, Graph};
-use congest_mis::LubyMis;
+use congest_graph::{generators, DeltaGraph, DeltaSet, Graph, NodeId};
+use congest_mis::{luby_repair, LubyMis, MisResult};
 use congest_sim::{plane_bytes_for, run_protocol, Engine, SimConfig};
 use rand::rngs::SmallRng;
+use rand::Rng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Instant;
@@ -66,6 +73,12 @@ const RIDE_ALONG_SIZES: [usize; 2] = [10_000, 100_000];
 /// Above this size the quadratic `gnp` is replaced by the `O(n + m)`
 /// skip-sampling generator.
 const GNP_SKIP_THRESHOLD: usize = 1_000_000;
+
+/// Sizes of the `--churn` repair-vs-recompute matrix.
+const CHURN_SIZES: [usize; 2] = [10_000, 100_000];
+
+/// Edge-flip batch sizes of the `--churn` matrix.
+const CHURN_KS: [usize; 2] = [16, 256];
 
 /// Median of a sample set in nanoseconds.
 fn median_ns(mut xs: Vec<u128>) -> u128 {
@@ -167,6 +180,125 @@ fn ride_along_record(
     )
 }
 
+/// Applies `k` seeded edge flips (remove if present, insert otherwise)
+/// to a [`DeltaGraph`] over `g` and returns the delta log plus the
+/// compacted post-flip graph.
+fn flip_edges(g: &Graph, k: usize, seed: u64) -> (DeltaSet, Graph) {
+    let n = g.num_nodes() as u32;
+    let mut dg = DeltaGraph::new(g.clone());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut applied = 0;
+    while applied < k {
+        let u = NodeId(rng.random_range(0..n));
+        let v = NodeId(rng.random_range(0..n));
+        if u == v {
+            continue;
+        }
+        if dg.has_edge(u, v) {
+            dg.remove_edge(u, v);
+        } else {
+            dg.insert_edge(u, v, rng.random_range(1..=8u64));
+        }
+        applied += 1;
+    }
+    let deltas = dg.take_log();
+    (deltas, dg.compact())
+}
+
+/// One `--churn` record: medians of incrementally repairing a prior
+/// solution after `k` edge flips vs recomputing it from scratch on the
+/// post-flip graph. `repair` and `recompute` take the sample seed so
+/// both sides pay their full protocol cost per sample.
+fn churn_record(
+    g2: &Graph,
+    k: usize,
+    samples: usize,
+    bench: &str,
+    protocol: &str,
+    mut repair: impl FnMut(u64) -> usize,
+    mut recompute: impl FnMut(u64) -> usize,
+) -> String {
+    let n = g2.num_nodes();
+    let p = 8.0 / n as f64;
+    let mut repair_rounds = 0;
+    let mut recompute_rounds = 0;
+    let repair_ns = {
+        let mut seed = 0u64;
+        measure(samples, || {
+            seed += 1;
+            let start = Instant::now();
+            repair_rounds = black_box(repair(seed));
+            start.elapsed().as_nanos()
+        })
+    };
+    let recompute_ns = {
+        let mut seed = 0u64;
+        measure(samples, || {
+            seed += 1;
+            let start = Instant::now();
+            recompute_rounds = black_box(recompute(seed));
+            start.elapsed().as_nanos()
+        })
+    };
+    assert!(
+        repair_rounds < recompute_rounds,
+        "{bench} n={n} k={k}: repair took {repair_rounds} rounds, \
+         recompute {recompute_rounds} — repair must be strictly cheaper"
+    );
+    format!(
+        "  {{\n    \"bench\": \"{bench}\",\n    \"graph\": {{ \"family\": \"gnp\", \"n\": {n}, \"p\": {p}, \"seed\": {n}, \"edges\": {m} }},\n    \"protocol\": \"{protocol}\",\n    \"k_flips\": {k},\n    \"samples\": {samples},\n    \"threads\": 1,\n    \"host_threads\": {host},\n    \"rounds\": {{\n      \"repair\": {repair_rounds},\n      \"recompute\": {recompute_rounds}\n    }},\n    \"median_ns\": {{\n      \"repair\": {repair_ns},\n      \"recompute\": {recompute_ns}\n    }}\n  }}",
+        m = g2.num_edges(),
+        host = rayon::current_num_threads(),
+    )
+}
+
+/// The `--churn` matrix: for n ∈ {10k, 100k} and k ∈ {16, 256} edge
+/// flips, times Luby-MIS and grouped-matching repair against full
+/// recomputation on the post-flip graph.
+fn churn_records(samples: usize) -> Vec<String> {
+    let mut records = Vec::new();
+    for &n in &CHURN_SIZES {
+        eprintln!("churn: generating n = {n}...");
+        let (mut g, _) = graph_for(n);
+        let mut rng = SmallRng::seed_from_u64(n as u64 ^ 0xC0FFEE);
+        generators::randomize_edge_weights(&mut g, 32, &mut rng);
+        let config = SimConfig::congest_for(&g);
+        let prior_mis: Vec<MisResult> =
+            run_protocol(&g, config.clone(), |_| LubyMis::new(), 7).into_outputs();
+        let prior_pairs: Vec<(NodeId, NodeId)> = {
+            let run = mwm_grouped(&g, 7);
+            run.matching.edges(&g).map(|e| g.endpoints(e)).collect()
+        };
+        for &k in &CHURN_KS {
+            eprintln!("churn: measuring n = {n}, k = {k} ({samples} samples/phase)...");
+            let (deltas, g2) = flip_edges(&g, k, 0xD0 + k as u64);
+            let config2 = SimConfig::congest_for(&g2);
+            records.push(churn_record(
+                &g2,
+                k,
+                samples,
+                "churn_repair_luby",
+                "LubyMis",
+                |seed| luby_repair(&g2, &prior_mis, &deltas, seed, false).rounds,
+                |seed| {
+                    let outcome = run_protocol(&g2, config2.clone(), |_| LubyMis::new(), seed);
+                    black_box(outcome.stats.rounds)
+                },
+            ));
+            records.push(churn_record(
+                &g2,
+                k,
+                samples,
+                "churn_repair_grouped",
+                "GroupedLrMatching",
+                |seed| grouped_mwm_repair(&g2, &prior_pairs, &deltas, seed, false).rounds,
+                |seed| black_box(mwm_grouped(&g2, seed)).stats.rounds,
+            ));
+        }
+    }
+    records
+}
+
 /// Parses a comma-separated list of positive integers.
 fn parse_list(flag: &str, v: &str) -> Vec<usize> {
     let xs: Vec<usize> = v
@@ -188,6 +320,7 @@ fn main() {
     let mut sizes: Vec<usize> = DEFAULT_SIZES.to_vec();
     let mut threads: Vec<usize> = vec![rayon::current_num_threads()];
     let mut ride_along = true;
+    let mut churn = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| -> Option<String> {
@@ -209,15 +342,26 @@ fn main() {
             threads = parse_list("--threads", &v);
         } else if arg == "--no-ride-along" {
             ride_along = false;
+        } else if arg == "--churn" {
+            churn = true;
         } else if arg.starts_with('-') {
             // Don't let a flag typo silently become the output path.
             panic!(
                 "unknown flag {arg}; usage: bench_baseline [PATH] [--samples N] \
-                 [--sizes a,b,c] [--threads t1,t2] [--no-ride-along]"
+                 [--sizes a,b,c] [--threads t1,t2] [--no-ride-along] [--churn]"
             );
         } else {
             out_path = arg;
         }
+    }
+
+    // `--churn` is its own mode: it times incremental repair against
+    // recomputation on post-flip graphs and appends those rows only.
+    if churn {
+        let records = churn_records(samples);
+        let json = congest_bench::ledger::append_to_file(&out_path, &records);
+        println!("wrote {out_path}:\n{json}");
+        return;
     }
 
     let mut records: Vec<String> = Vec::new();

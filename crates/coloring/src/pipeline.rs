@@ -79,6 +79,9 @@ pub fn deterministic_delta_plus_one(g: &Graph) -> ColoringRun {
             corrupted_messages: linial_stats.corrupted_messages
                 + reduction_stats.corrupted_messages,
             restarted_nodes: linial_stats.restarted_nodes + reduction_stats.restarted_nodes,
+            edges_flipped: linial_stats.edges_flipped + reduction_stats.edges_flipped,
+            nodes_joined: linial_stats.nodes_joined + reduction_stats.nodes_joined,
+            nodes_left: linial_stats.nodes_left + reduction_stats.nodes_left,
         },
     }
 }

@@ -30,8 +30,8 @@
 
 use congest_graph::{Graph, Matching, NodeId};
 use congest_sim::{
-    bits_for_value, run_protocol, Context, Inbox, Message, PackedMsg, Port, Protocol, SimConfig,
-    Status,
+    bits_for_value, run_protocol, Context, Engine, Inbox, Message, PackedMsg, Port, Protocol,
+    RunOutcome, SimConfig, Status,
 };
 use rand::Rng;
 
@@ -173,8 +173,10 @@ struct EdgeSlot {
     remote_clear: bool,
 }
 
-/// Node protocol for the grouped (footnote-5) matching. Output: the ports
-/// of this node's matched edge, if any.
+/// Node protocol for the grouped (footnote-5) matching. Output: this
+/// node's matched `(port, mate)`, if any — the port names the edge
+/// directly, so assembly is an O(1) port-indexed lookup per node instead
+/// of a binary-search probe.
 pub struct GroupedLrMatching {
     slots: Vec<EdgeSlot>,
 }
@@ -225,7 +227,7 @@ impl GroupedLrMatching {
 
 impl Protocol for GroupedLrMatching {
     type Msg = GroupedMsg;
-    type Output = Option<NodeId>;
+    type Output = Option<(u32, NodeId)>;
 
     fn init(&mut self, ctx: &mut Context<'_, GroupedMsg>) {
         self.slots = (0..ctx.degree())
@@ -245,7 +247,7 @@ impl Protocol for GroupedLrMatching {
         &mut self,
         ctx: &mut Context<'_, GroupedMsg>,
         inbox: Inbox<'_, GroupedMsg>,
-    ) -> Status<Option<NodeId>> {
+    ) -> Status<Option<(u32, NodeId)>> {
         match (ctx.round() - 1) % 4 {
             0 => {
                 // The resolve handshake of the previous cycle's phase 4
@@ -470,7 +472,7 @@ impl Protocol for GroupedLrMatching {
                     }
                 }
                 if self.all_done() {
-                    let mate = self.matched_port().map(|p| ctx.neighbor(p));
+                    let mate = self.matched_port().map(|p| (p as u32, ctx.neighbor(p)));
                     return Status::Halt(mate);
                 }
                 Status::Active
@@ -506,24 +508,29 @@ pub fn mwm_grouped(g: &Graph, seed: u64) -> super::LrMatchingRun {
 /// node halted normally.
 pub fn mwm_grouped_with(g: &Graph, config: SimConfig, seed: u64) -> (super::LrMatchingRun, bool) {
     let outcome = run_protocol(g, config, |_| GroupedLrMatching::new(), seed);
+    finish_grouped_run(g, &outcome)
+}
+
+/// [`mwm_grouped_with`] on the engine's deterministic parallel executor:
+/// same protocol, same assembly, bit-identical matching for a given
+/// `(graph, config, seed)` — the repair harness uses this to certify that
+/// incremental re-matching is executor-independent.
+pub fn mwm_grouped_with_parallel(
+    g: &Graph,
+    config: SimConfig,
+    seed: u64,
+) -> (super::LrMatchingRun, bool) {
+    let outcome = Engine::build(g, config, |_| GroupedLrMatching::new()).run_parallel(seed);
+    finish_grouped_run(g, &outcome)
+}
+
+fn finish_grouped_run(
+    g: &Graph,
+    outcome: &RunOutcome<Option<(u32, NodeId)>>,
+) -> (super::LrMatchingRun, bool) {
     let completed = outcome.completed;
     let stats = outcome.stats.clone();
-    let mut matching = Matching::new(g);
-    for v in g.nodes() {
-        if let Some(Some(mate)) = outcome.outputs[v.index()] {
-            if v < mate && outcome.outputs[mate.index()] == Some(Some(v)) {
-                // Under duplicated/reordered confirmations a node can halt
-                // on a stale claim whose far endpoint is not a neighbor of
-                // the edge it last negotiated; skip anything that does not
-                // survive an adjacency + disjointness check so every
-                // surviving subset still assembles into a valid matching.
-                let Some(e) = g.find_edge(v, mate) else {
-                    continue;
-                };
-                let _ = matching.try_insert(g, e);
-            }
-        }
-    }
+    let matching = assemble_matching(g, &outcome.outputs);
     let run = super::LrMatchingRun {
         matching,
         line_rounds: stats.rounds,
@@ -531,6 +538,32 @@ pub fn mwm_grouped_with(g: &Graph, config: SimConfig, seed: u64) -> (super::LrMa
         stats,
     };
     (run, completed)
+}
+
+/// Assembles mutually confirmed `(port, mate)` claims into a matching.
+/// The port names the matched edge directly (`neighbor_edges[port]`), so
+/// each node costs O(1) instead of a `find_edge` binary search. Under
+/// duplicated/reordered confirmations a node can halt on a stale claim
+/// whose port no longer points at the mate it last negotiated; anything
+/// failing the port-consistency + disjointness check is skipped so every
+/// surviving subset still assembles into a valid matching.
+fn assemble_matching(g: &Graph, outputs: &[Option<Option<(u32, NodeId)>>]) -> Matching {
+    let mut matching = Matching::new(g);
+    for v in g.nodes() {
+        if let Some(Some((port, mate))) = outputs[v.index()] {
+            let mutual =
+                matches!(outputs[mate.index()], Some(Some((_, back))) if back == v && v < mate);
+            if !mutual {
+                continue;
+            }
+            let port = port as usize;
+            let ids = g.neighbor_ids(v);
+            if port < ids.len() && ids[port] == mate {
+                let _ = matching.try_insert(g, g.neighbor_edges(v)[port]);
+            }
+        }
+    }
+    matching
 }
 
 #[cfg(test)]
@@ -648,6 +681,90 @@ mod tests {
                 "trial {trial}: duplicated schedules must replay"
             );
             assert_eq!(a.stats, b.stats, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn parallel_executor_matches_sequential_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(154);
+        for trial in 0..4 {
+            let mut g = generators::gnp(32, 0.15, &mut rng);
+            generators::randomize_edge_weights(&mut g, 64, &mut rng);
+            let config = SimConfig::congest_for(&g).with_max_rounds(64 * g.num_nodes() + 256);
+            let (seq, seq_done) = mwm_grouped_with(&g, config.clone(), 40 + trial);
+            let (par, par_done) = mwm_grouped_with_parallel(&g, config, 40 + trial);
+            assert_eq!(seq_done, par_done, "trial {trial}");
+            assert_eq!(
+                seq.matching.edges(&g).collect::<Vec<_>>(),
+                par.matching.edges(&g).collect::<Vec<_>>(),
+                "trial {trial}: executors must agree on the matching"
+            );
+            assert_eq!(seq.stats, par.stats, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn port_indexed_assembly_survives_repeated_endpoint_delta_batches() {
+        // Regression for the port-indexed assembly: batches of deltas that
+        // hammer the *same* endpoints (insert/remove around one hub node,
+        // then compact) permute neighbor lists and renumber ports between
+        // the prior graph and the compacted one. Re-running the matching
+        // on the compacted graph must still assemble a valid maximal
+        // matching, and the port lookup must agree with a `find_edge`
+        // sweep edge-for-edge.
+        use congest_graph::DeltaGraph;
+        let mut rng = SmallRng::seed_from_u64(155);
+        for trial in 0..4u64 {
+            let mut base = generators::gnp(24, 0.2, &mut rng);
+            generators::randomize_edge_weights(&mut base, 32, &mut rng);
+            let mut dg = DeltaGraph::new(base);
+            let hub = NodeId::from(0u32);
+            // Repeatedly churn edges incident to the same hub endpoint.
+            for other in 1..12u32 {
+                let v = NodeId::from(other);
+                if dg.has_edge(hub, v) {
+                    dg.remove_edge(hub, v);
+                    dg.insert_edge(hub, v, 7 + trial);
+                } else {
+                    dg.insert_edge(hub, v, 7 + trial);
+                    dg.remove_edge(hub, v);
+                    dg.insert_edge(hub, v, 9 + trial);
+                }
+            }
+            let g = dg.compact();
+            let config = SimConfig::congest_for(&g).with_max_rounds(64 * g.num_nodes() + 256);
+            let outcome = run_protocol(&g, config, |_| GroupedLrMatching::new(), 60 + trial);
+            assert!(outcome.completed, "trial {trial}");
+            let matching = assemble_matching(&g, &outcome.outputs);
+            assert!(matching.is_valid(&g), "trial {trial}");
+            assert!(
+                !matching.is_empty(),
+                "trial {trial}: matching must be non-trivial"
+            );
+            // The port lookup must name exactly the edge find_edge names,
+            // so the port-indexed assembly reproduces the probe-based one.
+            let mut probe_assembled = Matching::new(&g);
+            for v in g.nodes() {
+                if let Some(Some((port, mate))) = outcome.outputs[v.index()] {
+                    assert_eq!(
+                        g.neighbor_edges(v)[port as usize],
+                        g.find_edge(v, mate).expect("mate must be adjacent"),
+                        "trial {trial}: port lookup diverged from find_edge at {v:?}"
+                    );
+                    let mutual = matches!(
+                        outcome.outputs[mate.index()], Some(Some((_, back))) if back == v && v < mate
+                    );
+                    if mutual {
+                        let e = g.find_edge(v, mate).unwrap();
+                        let _ = probe_assembled.try_insert(&g, e);
+                    }
+                }
+            }
+            assert_eq!(
+                matching.edges(&g).collect::<Vec<_>>(),
+                probe_assembled.edges(&g).collect::<Vec<_>>(),
+                "trial {trial}: port-indexed assembly must match the probe-based assembly"
+            );
         }
     }
 }

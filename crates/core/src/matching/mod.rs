@@ -16,8 +16,10 @@
 //! quantifies what Theorem 2.8 saves.
 
 mod grouped;
+mod repair;
 
-pub use grouped::{mwm_grouped, mwm_grouped_with, GroupedMsg};
+pub use grouped::{mwm_grouped, mwm_grouped_with, mwm_grouped_with_parallel, GroupedMsg};
+pub use repair::{grouped_mwm_repair, MatchingRepairRun};
 
 use congest_graph::{EdgeId, Graph, Matching};
 use congest_sim::RunStats;

@@ -219,6 +219,9 @@ pub fn alg3(g: &Graph) -> Alg3Run {
             duplicated_messages: coloring.stats.duplicated_messages + lr_stats.duplicated_messages,
             corrupted_messages: coloring.stats.corrupted_messages + lr_stats.corrupted_messages,
             restarted_nodes: coloring.stats.restarted_nodes + lr_stats.restarted_nodes,
+            edges_flipped: coloring.stats.edges_flipped + lr_stats.edges_flipped,
+            nodes_joined: coloring.stats.nodes_joined + lr_stats.nodes_joined,
+            nodes_left: coloring.stats.nodes_left + lr_stats.nodes_left,
         },
     }
 }

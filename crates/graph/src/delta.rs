@@ -1,0 +1,651 @@
+//! Delta-overlay mutation for the immutable CSR [`Graph`].
+//!
+//! Production graphs churn; the flat CSR core does not. [`DeltaGraph`]
+//! bridges the two: it wraps a base [`Graph`] and absorbs
+//! `insert_edge` / `remove_edge` / `add_node` / `remove_node` into a
+//! **sorted delta log** (a `BTreeMap` keyed by directed endpoint pair, so
+//! a node's inserted neighbors are one contiguous range), with removed
+//! node slots parked on a free list and reused by later joins. Overlay
+//! reads (`has_edge`, `neighbors`, `degree`, …) see base ∖ removals ∪
+//! insertions; [`compact`](DeltaGraph::compact) rebuilds a flat CSR
+//! `Graph` from that view in `O(n + m)` (plus the delta-log range scans),
+//! preserving slot ids — a removed slot survives as an isolated weight-0
+//! node until a join reclaims it, so node ids stay stable across
+//! compactions and the simulator's dense id space never fragments.
+//!
+//! The **fingerprint contract** makes "overlay reads ≡ compacted reads"
+//! checkable in one comparison: [`DeltaGraph::fingerprint`] and
+//! [`Graph::fingerprint`] walk their adjacency in the identical order
+//! (slot id, weight, degree, then `(neighbor, edge weight)` pairs in
+//! ascending neighbor order) through the same FNV-1a fold, so
+//! `dg.fingerprint() == dg.compact().fingerprint()` holds for every
+//! mutation history — and is proptested across gnp / Watts–Strogatz /
+//! power-law-cluster histories in `tests/tests/delta_overlay.rs`.
+//!
+//! Every mutation is also appended to a [`DeltaSet`] — the currency the
+//! incremental repair variants (`congest_mis::luby_repair`,
+//! `congest_approx::matching::grouped_mwm_repair`) consume to mark the
+//! damaged region — drained by [`take_log`](DeltaGraph::take_log).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{EdgeId, Graph, GraphBuilder, NodeId};
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one `u64` into an FNV-1a accumulator, byte by byte (LE).
+#[inline]
+fn fnv1a(mut h: u64, x: u64) -> u64 {
+    for b in x.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A batch of topology mutations, in application order — the damage
+/// description handed to the incremental repair variants.
+///
+/// Endpoint pairs are stored `(u, v)` with `u < v` (the undirected-edge
+/// convention of [`Graph::endpoints`]). Edge ids are deliberately absent:
+/// they are not stable across [`DeltaGraph::compact`] (removals shift
+/// every later id), so deltas speak in endpoints.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaSet {
+    /// Edges inserted, as `(u, v)` with `u < v`.
+    pub inserted: Vec<(NodeId, NodeId)>,
+    /// Edges removed (including those removed implicitly by
+    /// [`DeltaGraph::remove_node`]), as `(u, v)` with `u < v`.
+    pub removed: Vec<(NodeId, NodeId)>,
+    /// Nodes that joined (fresh slots and reused ones alike).
+    pub joined: Vec<NodeId>,
+    /// Nodes that left.
+    pub left: Vec<NodeId>,
+}
+
+impl DeltaSet {
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of mutations in the batch.
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.removed.len() + self.joined.len() + self.left.len()
+    }
+
+    /// The nodes directly touched by the batch: endpoints of flipped
+    /// edges plus joined/left nodes, deduplicated and sorted.
+    pub fn touched_nodes(&self) -> Vec<NodeId> {
+        let mut touched: BTreeSet<NodeId> = BTreeSet::new();
+        for &(u, v) in self.inserted.iter().chain(&self.removed) {
+            touched.insert(u);
+            touched.insert(v);
+        }
+        touched.extend(self.joined.iter().copied());
+        touched.extend(self.left.iter().copied());
+        touched.into_iter().collect()
+    }
+}
+
+/// A mutable overlay over an immutable CSR [`Graph`] (see the module
+/// docs for the design).
+///
+/// Slot space: ids `0..num_slots()` cover the base graph's nodes plus
+/// any appended ones; [`is_alive`](Self::is_alive) distinguishes live
+/// slots from removed ones awaiting reuse. All edge queries take
+/// endpoint pairs — overlay edges have no stable [`EdgeId`] until the
+/// next [`compact`](Self::compact).
+#[derive(Clone, Debug)]
+pub struct DeltaGraph {
+    base: Graph,
+    /// Inserted edges, keyed by *directed* pair — both `(u, v)` and
+    /// `(v, u)` are present, mapping to the edge weight, so the inserted
+    /// neighbors of `v` are the contiguous range `(v, 0)..=(v, MAX)`.
+    inserted: BTreeMap<(u32, u32), u64>,
+    /// Removed base edges, same both-directions convention.
+    removed: BTreeSet<(u32, u32)>,
+    /// Liveness per slot; removed slots keep their id until reused.
+    alive: Vec<bool>,
+    /// Removed slots available for reuse, smallest first.
+    free_slots: BTreeSet<u32>,
+    /// Current node weight per slot (0 for dead slots).
+    node_weights: Vec<u64>,
+    /// Live-edge count under the overlay view.
+    live_edges: usize,
+    /// Mutations since the last [`take_log`](Self::take_log).
+    log: DeltaSet,
+}
+
+impl DeltaGraph {
+    /// Wraps `base` with an empty delta log.
+    pub fn new(base: Graph) -> Self {
+        let n = base.num_nodes();
+        let live_edges = base.num_edges();
+        let node_weights = base.node_weights().to_vec();
+        DeltaGraph {
+            base,
+            inserted: BTreeMap::new(),
+            removed: BTreeSet::new(),
+            alive: vec![true; n],
+            free_slots: BTreeSet::new(),
+            node_weights,
+            live_edges,
+            log: DeltaSet::default(),
+        }
+    }
+
+    /// Number of node slots (live + removed-awaiting-reuse).
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Number of live nodes.
+    pub fn num_live_nodes(&self) -> usize {
+        self.num_slots() - self.free_slots.len()
+    }
+
+    /// Number of live edges under the overlay view.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Whether slot `v` currently holds a live node.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the slot space.
+    #[inline]
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        self.check_slot("is_alive", v);
+        self.alive[v.index()]
+    }
+
+    /// Weight of the node in slot `v` (0 for removed slots).
+    pub fn node_weight(&self, v: NodeId) -> u64 {
+        self.check_slot("node_weight", v);
+        self.node_weights[v.index()]
+    }
+
+    /// Sets the weight of the live node in slot `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range or removed.
+    pub fn set_node_weight(&mut self, v: NodeId, w: u64) {
+        self.check_live("set_node_weight", v);
+        self.node_weights[v.index()] = w;
+    }
+
+    /// Whether the overlay currently has edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is outside the slot space.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.check_slot("has_edge", u);
+        self.check_slot("has_edge", v);
+        self.inserted.contains_key(&(u.0, v.0))
+            || (self.base_has(u, v) && !self.removed.contains(&(u.0, v.0)))
+    }
+
+    /// Weight of edge `{u, v}`, if the overlay currently has it.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<u64> {
+        self.check_slot("edge_weight", u);
+        self.check_slot("edge_weight", v);
+        if let Some(&w) = self.inserted.get(&(u.0, v.0)) {
+            return Some(w);
+        }
+        if self.removed.contains(&(u.0, v.0)) {
+            return None;
+        }
+        self.base_find(u, v).map(|e| self.base.edge_weight(e))
+    }
+
+    /// Degree of slot `v` under the overlay view (0 for removed slots —
+    /// removing a node removes its incident edges first).
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.check_slot("degree", v);
+        let surviving = self
+            .base_row(v)
+            .filter(|&(u, _)| !self.removed.contains(&(v.0, u.0)))
+            .count();
+        surviving + self.inserted_row(v).count()
+    }
+
+    /// Overlay neighbors of slot `v` as `(neighbor, edge weight)` pairs
+    /// in ascending neighbor order — the same order a compacted CSR row
+    /// would have.
+    pub fn neighbors(&self, v: NodeId) -> Vec<(NodeId, u64)> {
+        self.check_slot("neighbors", v);
+        // Both sources are sorted by neighbor id and disjoint (an edge
+        // present in the base and re-inserted must sit in `removed`, so
+        // the base side filters it out): a linear merge keeps the row
+        // sorted without a sort.
+        let mut out = Vec::with_capacity(self.degree(v));
+        let mut base = self
+            .base_row(v)
+            .filter(|&(u, _)| !self.removed.contains(&(v.0, u.0)))
+            .map(|(u, e)| (u, self.base.edge_weight(e)))
+            .peekable();
+        let mut ins = self.inserted_row(v).peekable();
+        loop {
+            match (base.peek(), ins.peek()) {
+                (Some(&(bu, _)), Some(&(iu, _))) => {
+                    if bu < iu {
+                        out.push(base.next().unwrap());
+                    } else {
+                        out.push(ins.next().unwrap());
+                    }
+                }
+                (Some(_), None) => out.push(base.next().unwrap()),
+                (None, Some(_)) => out.push(ins.next().unwrap()),
+                (None, None) => break,
+            }
+        }
+        out
+    }
+
+    /// Inserts edge `{u, v}` with weight `w` into the overlay.
+    ///
+    /// # Panics
+    /// Panics, naming the offending argument, if `u == v`, either
+    /// endpoint is out of range or removed, or the edge is already
+    /// present.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId, w: u64) {
+        assert_ne!(u, v, "DeltaGraph::insert_edge: self-loop at {u}");
+        self.check_live("insert_edge", u);
+        self.check_live("insert_edge", v);
+        assert!(
+            !self.has_edge(u, v),
+            "DeltaGraph::insert_edge: edge {u}–{v} already present"
+        );
+        self.inserted.insert((u.0, v.0), w);
+        self.inserted.insert((v.0, u.0), w);
+        self.live_edges += 1;
+        self.log.inserted.push(ordered(u, v));
+    }
+
+    /// Removes edge `{u, v}` from the overlay.
+    ///
+    /// # Panics
+    /// Panics, naming the offending argument, if either endpoint is out
+    /// of range or the edge is not present.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            self.has_edge(u, v),
+            "DeltaGraph::remove_edge: edge {u}–{v} not present"
+        );
+        if self.inserted.remove(&(u.0, v.0)).is_some() {
+            self.inserted.remove(&(v.0, u.0));
+        }
+        // A base edge is masked out; a re-inserted base edge is already
+        // masked (the mask is what let it be re-inserted), and the
+        // idempotent insert keeps it so.
+        if self.base_has(u, v) {
+            self.removed.insert((u.0, v.0));
+            self.removed.insert((v.0, u.0));
+        }
+        self.live_edges -= 1;
+        self.log.removed.push(ordered(u, v));
+    }
+
+    /// Adds a node with weight `w`, reusing the smallest removed slot if
+    /// one exists (else appending a fresh slot). Returns its id.
+    pub fn add_node(&mut self, w: u64) -> NodeId {
+        let v = match self.free_slots.pop_first() {
+            Some(slot) => {
+                self.alive[slot as usize] = true;
+                self.node_weights[slot as usize] = w;
+                NodeId(slot)
+            }
+            None => {
+                self.alive.push(true);
+                self.node_weights.push(w);
+                NodeId(self.alive.len() as u32 - 1)
+            }
+        };
+        self.log.joined.push(v);
+        v
+    }
+
+    /// Removes the node in slot `v`, removing its incident live edges
+    /// first (each is logged as a removal) and parking the slot for
+    /// reuse.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range or already removed.
+    pub fn remove_node(&mut self, v: NodeId) {
+        self.check_live("remove_node", v);
+        for (u, _) in self.neighbors(v) {
+            self.remove_edge(v, u);
+        }
+        self.alive[v.index()] = false;
+        self.node_weights[v.index()] = 0;
+        self.free_slots.insert(v.0);
+        self.log.left.push(v);
+    }
+
+    /// Drains and returns the mutations applied since the last call (or
+    /// construction).
+    pub fn take_log(&mut self) -> DeltaSet {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Rebuilds a flat CSR [`Graph`] from the overlay view in `O(n + m)`
+    /// (plus the delta-log range scans). Slot ids are preserved: removed
+    /// slots become isolated weight-0 nodes, so node ids mean the same
+    /// thing before and after compaction.
+    pub fn compact(&self) -> Graph {
+        let n = self.num_slots();
+        let mut b = GraphBuilder::with_nodes(n);
+        for v in 0..n {
+            b.set_node_weight(NodeId(v as u32), self.node_weights[v]);
+        }
+        for v in 0..n as u32 {
+            for (u, w) in self.neighbors(NodeId(v)) {
+                // Each undirected edge is emitted exactly once (from its
+                // smaller endpoint), so the dedup-free fast path is safe.
+                if v < u.0 {
+                    let e = b.add_edge_unchecked(NodeId(v), u);
+                    b.set_edge_weight(e, w);
+                }
+            }
+        }
+        let g = b.build();
+        debug_assert_eq!(g.num_edges(), self.live_edges);
+        g
+    }
+
+    /// FNV-1a fingerprint of the overlay view — defined to walk the
+    /// identical sequence as [`Graph::fingerprint`] on the compacted
+    /// graph, which is the machine-checkable form of "overlay reads ≡
+    /// compacted reads": `dg.fingerprint() == dg.compact().fingerprint()`
+    /// for every mutation history.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, self.num_slots() as u64);
+        for v in 0..self.num_slots() as u32 {
+            let v = NodeId(v);
+            h = fnv1a(h, self.node_weights[v.index()]);
+            let row = self.neighbors(v);
+            h = fnv1a(h, row.len() as u64);
+            for (u, w) in row {
+                h = fnv1a(h, u64::from(u.0));
+                h = fnv1a(h, w);
+            }
+        }
+        h
+    }
+
+    /// Panics if `v` is outside the slot space, naming `method`.
+    fn check_slot(&self, method: &str, v: NodeId) {
+        assert!(
+            v.index() < self.num_slots(),
+            "DeltaGraph::{method}: node {v} out of range (slots 0..{})",
+            self.num_slots()
+        );
+    }
+
+    /// Panics if `v` is out of range or removed, naming `method`.
+    fn check_live(&self, method: &str, v: NodeId) {
+        self.check_slot(method, v);
+        assert!(
+            self.alive[v.index()],
+            "DeltaGraph::{method}: node {v} is removed"
+        );
+    }
+
+    /// Whether the *base* graph has edge `{u, v}` (slots beyond the base
+    /// node count have empty base rows).
+    fn base_has(&self, u: NodeId, v: NodeId) -> bool {
+        self.base_find(u, v).is_some()
+    }
+
+    fn base_find(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if u.index() < self.base.num_nodes() && v.index() < self.base.num_nodes() {
+            self.base.find_edge(u, v)
+        } else {
+            None
+        }
+    }
+
+    /// Base-graph adjacency row of `v` (empty for appended slots).
+    fn base_row(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        let within = v.index() < self.base.num_nodes();
+        within.then(|| self.base.neighbors(v)).into_iter().flatten()
+    }
+
+    /// Inserted-edge row of `v`, sorted by neighbor id.
+    fn inserted_row(&self, v: NodeId) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.inserted
+            .range((v.0, 0)..=(v.0, u32::MAX))
+            .map(|(&(_, u), &w)| (NodeId(u), w))
+    }
+}
+
+impl Graph {
+    /// FNV-1a fingerprint of the adjacency structure and weights: slot
+    /// count, then per node its weight, degree, and `(neighbor, edge
+    /// weight)` pairs in ascending neighbor order — the identical walk
+    /// as [`DeltaGraph::fingerprint`], which is what makes the overlay's
+    /// read-equivalence contract one `u64` comparison.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, self.num_nodes() as u64);
+        for v in self.nodes() {
+            h = fnv1a(h, self.node_weight(v));
+            h = fnv1a(h, self.degree(v) as u64);
+            for (u, e) in self.neighbors(v) {
+                h = fnv1a(h, u64::from(u.0));
+                h = fnv1a(h, self.edge_weight(e));
+            }
+        }
+        h
+    }
+}
+
+/// Normalizes an endpoint pair to the `(min, max)` convention of
+/// [`Graph::endpoints`].
+fn ordered(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_weighted_edge(NodeId(0), NodeId(1), 3);
+        b.add_weighted_edge(NodeId(1), NodeId(2), 5);
+        b.add_weighted_edge(NodeId(2), NodeId(3), 7);
+        b.build()
+    }
+
+    #[test]
+    fn overlay_reads_match_base_before_any_mutation() {
+        let g = path4();
+        let base_fp = g.fingerprint();
+        let dg = DeltaGraph::new(g);
+        assert_eq!(dg.num_slots(), 4);
+        assert_eq!(dg.num_edges(), 3);
+        assert_eq!(dg.fingerprint(), base_fp);
+        assert_eq!(dg.compact().fingerprint(), base_fp);
+        assert!(dg.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(dg.edge_weight(NodeId(1), NodeId(2)), Some(5));
+        assert_eq!(dg.degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn insert_and_remove_flow_through_reads_and_compaction() {
+        let mut dg = DeltaGraph::new(path4());
+        dg.insert_edge(NodeId(0), NodeId(3), 11);
+        dg.remove_edge(NodeId(1), NodeId(2));
+        assert!(dg.has_edge(NodeId(3), NodeId(0)));
+        assert_eq!(dg.edge_weight(NodeId(0), NodeId(3)), Some(11));
+        assert!(!dg.has_edge(NodeId(1), NodeId(2)));
+        assert_eq!(dg.num_edges(), 3);
+        assert_eq!(
+            dg.neighbors(NodeId(0)),
+            vec![(NodeId(1), 3), (NodeId(3), 11)]
+        );
+        let g = dg.compact();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.fingerprint(), dg.fingerprint());
+        assert_eq!(
+            g.edge_weight(g.find_edge(NodeId(0), NodeId(3)).unwrap()),
+            11
+        );
+        assert!(g.find_edge(NodeId(1), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn reinserting_a_removed_base_edge_takes_the_new_weight() {
+        let mut dg = DeltaGraph::new(path4());
+        dg.remove_edge(NodeId(1), NodeId(2));
+        dg.insert_edge(NodeId(2), NodeId(1), 99);
+        assert_eq!(dg.edge_weight(NodeId(1), NodeId(2)), Some(99));
+        assert_eq!(dg.num_edges(), 3);
+        // ... and removing it again works (the mask is already in place).
+        dg.remove_edge(NodeId(1), NodeId(2));
+        assert!(!dg.has_edge(NodeId(1), NodeId(2)));
+        assert_eq!(dg.compact().fingerprint(), dg.fingerprint());
+    }
+
+    #[test]
+    fn remove_node_drops_incident_edges_and_frees_the_slot() {
+        let mut dg = DeltaGraph::new(path4());
+        dg.remove_node(NodeId(1));
+        assert!(!dg.is_alive(NodeId(1)));
+        assert_eq!(dg.num_live_nodes(), 3);
+        assert_eq!(dg.num_edges(), 1); // only {2,3} survives
+        assert_eq!(dg.degree(NodeId(0)), 0);
+        assert_eq!(dg.node_weight(NodeId(1)), 0);
+        let g = dg.compact();
+        assert_eq!(g.num_nodes(), 4); // slot survives as isolated node
+        assert_eq!(g.degree(NodeId(1)), 0);
+        assert_eq!(g.node_weight(NodeId(1)), 0);
+        assert_eq!(g.fingerprint(), dg.fingerprint());
+    }
+
+    #[test]
+    fn add_node_reuses_the_smallest_free_slot_first() {
+        let mut dg = DeltaGraph::new(path4());
+        dg.remove_node(NodeId(2));
+        dg.remove_node(NodeId(0));
+        let a = dg.add_node(42);
+        assert_eq!(a, NodeId(0), "smallest freed slot is reused first");
+        assert_eq!(dg.node_weight(a), 42);
+        let b = dg.add_node(43);
+        assert_eq!(b, NodeId(2));
+        let c = dg.add_node(44);
+        assert_eq!(c, NodeId(4), "no free slot left: append");
+        assert_eq!(dg.num_slots(), 5);
+        assert_eq!(dg.compact().fingerprint(), dg.fingerprint());
+    }
+
+    #[test]
+    fn rejoined_slots_can_take_edges() {
+        let mut dg = DeltaGraph::new(path4());
+        dg.remove_node(NodeId(1));
+        let v = dg.add_node(9);
+        assert_eq!(v, NodeId(1));
+        dg.insert_edge(v, NodeId(3), 2);
+        assert_eq!(dg.neighbors(v), vec![(NodeId(3), 2)]);
+        assert_eq!(dg.compact().fingerprint(), dg.fingerprint());
+    }
+
+    #[test]
+    fn take_log_records_mutations_in_order_and_drains() {
+        let mut dg = DeltaGraph::new(path4());
+        dg.insert_edge(NodeId(3), NodeId(0), 1);
+        dg.remove_node(NodeId(1));
+        let v = dg.add_node(5);
+        let log = dg.take_log();
+        assert_eq!(log.inserted, vec![(NodeId(0), NodeId(3))]);
+        // remove_node(1) removed its two incident path edges.
+        assert_eq!(
+            log.removed,
+            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]
+        );
+        assert_eq!(log.left, vec![NodeId(1)]);
+        assert_eq!(log.joined, vec![v]);
+        assert_eq!(log.len(), 5);
+        assert!(dg.take_log().is_empty(), "take_log drains");
+        let touched = log.touched_nodes();
+        assert_eq!(touched, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn compacting_twice_round_trips_through_a_fresh_overlay() {
+        let mut dg = DeltaGraph::new(path4());
+        dg.insert_edge(NodeId(0), NodeId(2), 8);
+        dg.remove_edge(NodeId(2), NodeId(3));
+        let g1 = dg.compact();
+        let dg2 = DeltaGraph::new(g1.clone());
+        assert_eq!(dg2.fingerprint(), g1.fingerprint());
+        assert_eq!(dg2.compact().fingerprint(), g1.fingerprint());
+    }
+
+    // Rejection paths: every panic names the method and the offending
+    // argument (the PR 6 `Adversary` convention).
+
+    #[test]
+    #[should_panic(expected = "DeltaGraph::insert_edge: self-loop at v1")]
+    fn insert_self_loop_panics() {
+        DeltaGraph::new(path4()).insert_edge(NodeId(1), NodeId(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "DeltaGraph::insert_edge: node v9 out of range")]
+    fn insert_out_of_range_panics() {
+        DeltaGraph::new(path4()).insert_edge(NodeId(0), NodeId(9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "DeltaGraph::insert_edge: node v2 is removed")]
+    fn insert_on_removed_endpoint_panics() {
+        let mut dg = DeltaGraph::new(path4());
+        dg.remove_node(NodeId(2));
+        dg.insert_edge(NodeId(0), NodeId(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "DeltaGraph::insert_edge: edge v0–v1 already present")]
+    fn duplicate_insert_panics() {
+        DeltaGraph::new(path4()).insert_edge(NodeId(0), NodeId(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "DeltaGraph::remove_edge: edge v0–v2 not present")]
+    fn remove_missing_edge_panics() {
+        DeltaGraph::new(path4()).remove_edge(NodeId(0), NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "DeltaGraph::has_edge: node v7 out of range")]
+    fn remove_out_of_range_panics() {
+        DeltaGraph::new(path4()).remove_edge(NodeId(7), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "DeltaGraph::remove_node: node v3 is removed")]
+    fn double_remove_node_panics() {
+        let mut dg = DeltaGraph::new(path4());
+        dg.remove_node(NodeId(3));
+        dg.remove_node(NodeId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "DeltaGraph::set_node_weight: node v0 is removed")]
+    fn set_weight_on_removed_node_panics() {
+        let mut dg = DeltaGraph::new(path4());
+        dg.remove_node(NodeId(0));
+        dg.set_node_weight(NodeId(0), 5);
+    }
+}

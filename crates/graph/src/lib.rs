@@ -5,6 +5,11 @@
 //!
 //! * [`Graph`] — an immutable simple undirected graph with `u64` node and
 //!   edge weights, built through [`GraphBuilder`].
+//! * [`DeltaGraph`] — a mutable delta overlay over a [`Graph`]
+//!   (insert/remove edges and nodes with slot reuse, `O(n + m)`
+//!   [`compact`](DeltaGraph::compact) back to flat CSR, fingerprint
+//!   contract that overlay reads ≡ compacted reads), the substrate for
+//!   dynamic-graph churn and incremental repair.
 //! * [`generators`] — deterministic and seeded random graph families used by
 //!   the test suite and the benchmark harness (G(n,p), random regular,
 //!   stars, grids, bipartite graphs, preferential attachment, trees, …).
@@ -30,6 +35,7 @@
 //! ```
 
 mod builder;
+mod delta;
 mod graph;
 mod independent_set;
 mod matching;
@@ -38,6 +44,7 @@ mod props;
 pub mod generators;
 
 pub use builder::GraphBuilder;
+pub use delta::{DeltaGraph, DeltaSet};
 pub use graph::{EdgeId, Graph, NodeId};
 pub use independent_set::IndependentSet;
 pub use matching::Matching;

@@ -35,8 +35,19 @@
 //! model (drops, async delays, duplication, corruption, reordering,
 //! crash+restart) at three intensities per axis and writes its records
 //! to the separate `DEGRADATION_engine.json` ledger.
+//!
+//! A fourth suite — the [`churn`] grid — stresses the *topology* instead
+//! of the delivery layer: per-round edge flips and node joins/leaves via
+//! the churn adversary, plus `DeltaGraph` repair probes comparing the
+//! incremental `luby_repair`/`grouped_mwm_repair` variants against
+//! from-scratch recomputes, ledgered in `CHURN_engine.json`.
 
+pub mod churn;
 pub mod degradation;
+pub use churn::{
+    churn_acceptance, churn_cell, churn_suite, ChurnAxis, ChurnReport, CHURN_AXES, CHURN_LEVELS,
+    CHURN_PROTOCOLS,
+};
 pub use degradation::{
     degradation_cell, degradation_suite, DegradationReport, FaultAxis, AXES, DEGRADATION_PROTOCOLS,
     LEVELS,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p harness [-- PATH] [--samples small|full]
-//!                                [--degradation PATH]
+//!                                [--degradation PATH] [--churn PATH]
 //! ```
 //!
 //! Runs the full scenario matrix (see `congest_harness`), panicking on
@@ -12,17 +12,23 @@
 //! [`congest_bench::ledger`] module — and prints a summary table.
 //! The degradation grid (protocol × fault axis × intensity; see
 //! `congest_harness::degradation`) is appended to its own ledger at
-//! the `--degradation` path (default `DEGRADATION_engine.json`).
+//! the `--degradation` path (default `DEGRADATION_engine.json`), and
+//! the churn grid plus its gnp-10k repair acceptance rows (see
+//! `congest_harness::churn`) to the `--churn` path (default
+//! `CHURN_engine.json`).
 //!
 //! `--samples small` sweeps one engine seed per cell (the CI smoke
 //! setting); `--samples full` (default) sweeps three.
 
 use congest_bench::Table;
-use congest_harness::{conformance_suite, degradation_suite, fault_suite, SampleSize};
+use congest_harness::{
+    churn_acceptance, churn_suite, conformance_suite, degradation_suite, fault_suite, SampleSize,
+};
 
 fn main() {
     let mut out_path = "QUALITY_engine.json".to_string();
     let mut degradation_path = "DEGRADATION_engine.json".to_string();
+    let mut churn_path = "CHURN_engine.json".to_string();
     let mut samples = SampleSize::Full;
     // CLI flag parsing is this binary's job; the workspace-wide ban
     // (clippy.toml) targets protocol code, not the harness entry point.
@@ -38,10 +44,14 @@ fn main() {
             degradation_path = args.next().expect("--degradation needs a path");
         } else if let Some(v) = arg.strip_prefix("--degradation=") {
             degradation_path = v.to_string();
+        } else if arg == "--churn" {
+            churn_path = args.next().expect("--churn needs a path");
+        } else if let Some(v) = arg.strip_prefix("--churn=") {
+            churn_path = v.to_string();
         } else if arg.starts_with('-') {
             // Don't let a flag typo silently become the output path.
             panic!(
-                "unknown flag {arg}; usage: harness [PATH] [--samples small|full] [--degradation PATH]"
+                "unknown flag {arg}; usage: harness [PATH] [--samples small|full] [--degradation PATH] [--churn PATH]"
             );
         } else {
             out_path = arg;
@@ -57,6 +67,10 @@ fn main() {
     let faults = fault_suite();
     eprintln!("running degradation grid...");
     let degradation = degradation_suite();
+    eprintln!("running churn grid...");
+    let mut churn = churn_suite();
+    eprintln!("running churn repair acceptance rows (gnp-10k)...");
+    churn.extend(churn_acceptance());
 
     let mut table = Table::new(&[
         "protocol", "graph", "weights", "valid", "rounds", "budget", "ratio", "bound", "oracle",
@@ -130,6 +144,34 @@ fn main() {
     }
     degradation_table.print();
 
+    let mut churn_table = Table::new(&[
+        "protocol",
+        "graph",
+        "axis",
+        "dose",
+        "completed",
+        "safe",
+        "deltas",
+        "repair",
+        "recompute",
+        "cheaper",
+    ]);
+    for r in &churn {
+        churn_table.row(vec![
+            r.protocol.to_string(),
+            r.family.clone(),
+            r.axis.to_string(),
+            format!("{}", r.dose),
+            r.completed.to_string(),
+            r.safety_ok.to_string(),
+            r.deltas.to_string(),
+            r.repair_rounds.to_string(),
+            r.recompute_rounds.to_string(),
+            r.repair_cheaper.to_string(),
+        ]);
+    }
+    churn_table.print();
+
     let records: Vec<String> = conformance
         .iter()
         .map(|r| r.to_json())
@@ -147,6 +189,9 @@ fn main() {
         "wrote {degradation_path}: {} degradation records",
         degradation.len()
     );
+    let churn_records: Vec<String> = churn.iter().map(|r| r.to_json()).collect();
+    congest_bench::ledger::append_to_file(&churn_path, &churn_records);
+    println!("wrote {churn_path}: {} churn records", churn.len());
 }
 
 fn parse_samples(v: &str) -> SampleSize {

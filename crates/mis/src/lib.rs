@@ -38,9 +38,11 @@
 mod ghaffari;
 mod greedy;
 mod luby;
+mod repair;
 mod result;
 
 pub use ghaffari::{nmis_iterations, GhaffariMis, NearlyMaximalIs, NmisMsg, NmisParams};
 pub use greedy::greedy_mis;
 pub use luby::{LubyMis, LubyMsg};
+pub use repair::{luby_repair, RepairRun};
 pub use result::{uncovered_fraction, verify_mis, verify_nearly_maximal, MisResult};

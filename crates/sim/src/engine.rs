@@ -1,7 +1,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use congest_graph::{Graph, NodeId};
+use congest_graph::{DeltaSet, EdgeId, Graph, NodeId};
 use rand::rngs::SmallRng;
 use rayon::prelude::*;
 
@@ -14,6 +14,12 @@ use crate::{Adversary, Context, Inbox, Message, NodeInfo, PackedMsg, Protocol, S
 /// (self-stabilization mode), so its post-restart coin stream is fresh —
 /// independent of its pre-crash stream and of every other node's.
 const RESTART_STREAM_SALT: u64 = 0x8E57_A87E_D000_0009;
+
+/// Phase tag mixed into the master seed for the RNG of a node *rejoining*
+/// after a churn departure ([`Adversary::node_join_prob`]), keyed by the
+/// rejoin round — same construction as [`RESTART_STREAM_SALT`], on a
+/// separate stream so churn joins and crash restarts never share coins.
+const CHURN_STREAM_SALT: u64 = 0xC409_11ED_0000_000D;
 
 /// Simulation configuration: model (bit budget) and safety limits.
 #[derive(Clone, Debug)]
@@ -175,6 +181,18 @@ pub struct RunStats {
     /// crashing twice counts twice, in both this and
     /// [`crashed_nodes`](Self::crashed_nodes).
     pub restarted_nodes: u64,
+    /// Undirected edges whose link state was toggled by the
+    /// [`Adversary`]'s churn coin ([`Adversary::edge_flip_prob`]). An
+    /// edge flipping down and back up counts twice.
+    pub edges_flipped: u64,
+    /// Departed nodes readmitted by the churn join coin
+    /// ([`Adversary::node_join_prob`]), booting with reset protocol
+    /// state. A node leaving and rejoining twice counts twice.
+    pub nodes_joined: u64,
+    /// Present nodes removed by the churn leave coin
+    /// ([`Adversary::node_leave_prob`]); they stop computing and messages
+    /// to them are dropped, until (and unless) a join coin readmits them.
+    pub nodes_left: u64,
 }
 
 /// Result of running a protocol to completion (or to the round cap).
@@ -248,6 +266,10 @@ struct NodeSlot<'g, P: Protocol> {
     /// this node; used to deliver into the receiver's port-indexed inbox
     /// row. Borrowed straight from the graph's precomputed CSR table.
     reverse_port: &'g [u32],
+    /// `neighbor_edges[p]` = the undirected edge id behind port `p`;
+    /// consulted by delivery when the churn adversary's edge-down bitmap
+    /// is live. Borrowed from the graph's CSR table.
+    neighbor_edges: &'g [EdgeId],
     /// Start of this node's row in the CSR-shaped message planes
     /// (`graph.row_offsets()[id]`); the row length is the node's degree.
     row_start: u32,
@@ -435,6 +457,11 @@ struct DeliverArgs<'a> {
     /// Asynchronous delay scheduler, pre-filtered to `None` when its
     /// maximum delay is zero (the synchronous case).
     scheduler: Option<AsyncScheduler>,
+    /// Link-state bitmap of the churn adversary, one bit per undirected
+    /// edge id (set = down: messages crossing the edge are silently
+    /// discarded). `None` whenever [`Adversary::edge_flip_prob`] is zero,
+    /// so the static path never tests it per message.
+    edge_down: Option<&'a [u64]>,
 }
 
 /// Per-chunk statistics accumulator for the delivery phase; merged into
@@ -552,6 +579,83 @@ impl<'g, P: Protocol> Engine<'g, P> {
             infos,
             nodes,
             factory: Box::new(factory),
+        }
+    }
+
+    /// Retargets the engine onto a mutated topology between runs: `graph`
+    /// is the compacted successor of the engine's current graph (same
+    /// slot-id space — typically `DeltaGraph::compact` output, so slot
+    /// ids are stable and `n` never shrinks), `deltas` the applied
+    /// mutation log.
+    ///
+    /// Message planes and occupancy bitmaps are *not* carried over — the
+    /// next `run` allocates them from the new graph's CSR shape, so they
+    /// grow and shrink with the directed-edge count and removed rows
+    /// simply cease to exist. Protocol instances of surviving nodes are
+    /// kept (their per-node state is what incremental repair feeds on);
+    /// nodes named in [`DeltaSet::joined`] or [`DeltaSet::left`] are
+    /// re-instantiated factory-fresh, as are slots beyond the old `n`.
+    ///
+    /// # Panics
+    /// Panics if `graph` has fewer slots than the current graph, or if a
+    /// delta entry references a node outside `graph`.
+    pub fn apply_deltas(self, graph: &'g Graph, deltas: &DeltaSet) -> Self {
+        let old_n = self.graph.num_nodes();
+        let n = graph.num_nodes();
+        assert!(
+            n >= old_n,
+            "Engine::apply_deltas: graph must keep the slot-id space \
+             ({n} slots < previous {old_n})"
+        );
+        for &v in deltas.joined.iter().chain(&deltas.left) {
+            assert!(
+                v.index() < n,
+                "Engine::apply_deltas: delta node {v} out of range (slots 0..{n})"
+            );
+        }
+        for &(u, v) in deltas.inserted.iter().chain(&deltas.removed) {
+            assert!(
+                u.index() < n && v.index() < n,
+                "Engine::apply_deltas: delta edge {u}–{v} out of range (slots 0..{n})"
+            );
+        }
+        self.config.validate();
+        let max_degree = graph.max_degree();
+        let max_node_weight = graph.max_node_weight();
+        let max_edge_weight = graph.max_edge_weight();
+        let mut infos = Vec::with_capacity(n);
+        for v in graph.nodes() {
+            infos.push(NodeInfo {
+                id: v,
+                weight: graph.node_weight(v),
+                neighbor_ids: graph.neighbor_ids(v),
+                edge_weights: graph.port_edge_weights(v),
+                n,
+                max_degree,
+                max_node_weight,
+                max_edge_weight,
+            });
+        }
+        let mut reset = vec![false; n];
+        for &v in deltas.joined.iter().chain(&deltas.left) {
+            reset[v.index()] = true;
+        }
+        let mut factory = self.factory;
+        let mut old_nodes = self.nodes.into_iter();
+        let mut nodes = Vec::with_capacity(n);
+        for (v, info) in infos.iter().enumerate() {
+            let survivor = old_nodes.next();
+            match survivor {
+                Some(proto) if v < old_n && !reset[v] => nodes.push(proto),
+                _ => nodes.push(factory(info)),
+            }
+        }
+        Engine {
+            graph,
+            config: self.config,
+            infos,
+            nodes,
+            factory,
         }
     }
 
@@ -717,6 +821,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 rng: node_rng(seed, info.id),
                 proto,
                 reverse_port: graph.reverse_ports(info.id),
+                neighbor_edges: graph.neighbor_edges(info.id),
                 row_start: row_offsets[info.id.index()],
                 occ_start: occ_offsets[info.id.index()],
                 info,
@@ -735,6 +840,25 @@ impl<'g, P: Protocol> Engine<'g, P> {
         let restart_after = adversary
             .filter(|a| a.crash_prob > 0.0)
             .and_then(|a| a.restart_after);
+        // Topology churn: a link-state bitmap over undirected edge ids
+        // (flips toggle bits; delivery consults it per message) and a
+        // departed set for node leaves/joins. All allocated only when the
+        // corresponding coin can fire, so the static path stays untouched.
+        let churn = adversary.filter(Adversary::has_churn);
+        let flips_on = churn.is_some_and(|a| a.edge_flip_prob > 0.0);
+        let joins_on = churn.is_some_and(|a| a.node_join_prob > 0.0);
+        let leaves_on = churn.is_some_and(|a| a.node_leave_prob > 0.0);
+        let mut edge_down: Vec<u64> = if flips_on {
+            vec![0u64; graph.num_edges().div_ceil(64)]
+        } else {
+            Vec::new()
+        };
+        let mut departed: Vec<bool> = if leaves_on {
+            vec![false; n]
+        } else {
+            Vec::new()
+        };
+        let mut departed_count: usize = 0;
         // The send plane and the receive-plane ring: every buffer of the
         // round loop is allocated here, once; rounds only move messages
         // through them. Ring sizing: arrivals span `round + 1` through
@@ -763,10 +887,10 @@ impl<'g, P: Protocol> Engine<'g, P> {
         let mut alive = vec![true; n];
         let mut active_count = n;
         // Slots `0..active_len` are the (compacted) active prefix; tracing
-        // disables compaction so delivery can walk ascending node ids, and
-        // restart mode disables it so a rejoining node can be found at
-        // slot index == node id.
-        let compact = !config.record_traces && restart_after.is_none();
+        // disables compaction so delivery can walk ascending node ids,
+        // and restart mode and node churn disable it so a rejoining node
+        // can be found at slot index == node id.
+        let compact = !config.record_traces && restart_after.is_none() && churn.is_none();
         let mut active_len = n;
         let mut stats = RunStats::default();
         let mut traces = Vec::new();
@@ -786,6 +910,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
             row_offsets,
             &occ_offsets,
             &mut alive,
+            flips_on.then_some(&edge_down).map(Vec::as_slice),
             &mut outputs,
             &mut active_count,
             &mut stats,
@@ -794,7 +919,9 @@ impl<'g, P: Protocol> Engine<'g, P> {
             &deliver,
         );
 
-        while (active_count > 0 || !restart_queue.is_empty()) && stats.rounds < config.max_rounds {
+        while (active_count > 0 || !restart_queue.is_empty() || (joins_on && departed_count > 0))
+            && stats.rounds < config.max_rounds
+        {
             stats.rounds += 1;
             let round = stats.rounds;
             // Self-stabilization: crashed nodes whose downtime has elapsed
@@ -859,6 +986,78 @@ impl<'g, P: Protocol> Engine<'g, P> {
                     }
                 }
             }
+            // Topology churn, in the same sequential section as crashes,
+            // by coins pure in (round, id): joins first (mirroring
+            // restarts: a node can rejoin before this round's leave coins
+            // fire), then leaves, then edge flips. Compaction is off
+            // whenever churn is on, so slot index == node id.
+            if let Some(adv) = churn {
+                if joins_on && departed_count > 0 {
+                    for v in 0..n {
+                        if !departed[v] || !adv.rejoins(round, NodeId(v as u32)) {
+                            continue;
+                        }
+                        departed[v] = false;
+                        departed_count -= 1;
+                        let slot = &mut slots[v];
+                        let info = slot.info;
+                        slot.proto = factory(&info);
+                        slot.rng = node_rng(
+                            phase_seed(seed, CHURN_STREAM_SALT.wrapping_add(round as u64)),
+                            info.id,
+                        );
+                        slot.pending_halt = None;
+                        slot.needs_init = true;
+                        slot.active = true;
+                        alive[v] = true;
+                        active_count += 1;
+                        stats.nodes_joined += 1;
+                    }
+                }
+                if leaves_on {
+                    for slot in slots[..active_len].iter_mut() {
+                        if !slot.active || !adv.leaves(round, slot.info.id) {
+                            continue;
+                        }
+                        let v = slot.info.id.index();
+                        slot.active = false;
+                        alive[v] = false;
+                        active_count -= 1;
+                        departed[v] = true;
+                        departed_count += 1;
+                        stats.nodes_left += 1;
+                        // Wipe the node's in-flight arrivals across the
+                        // ring, as at a crash: a rejoining node boots
+                        // with an empty inbox, and pre-departure
+                        // stragglers count as lost to the churn.
+                        let occ_start = slot.occ_start as usize;
+                        let occ_words = slot.info.degree().div_ceil(64);
+                        for plane in &planes.recv {
+                            // SAFETY: sequential section of the round
+                            // loop — no worker holds any plane reference
+                            // — and each node's rows are disjoint from
+                            // every other node's.
+                            let occ = unsafe { plane.occ_row(occ_start, occ_words) };
+                            for word in occ.iter_mut() {
+                                stats.dropped_messages += u64::from(word.count_ones());
+                                *word = 0;
+                            }
+                        }
+                    }
+                }
+                if flips_on {
+                    // O(m) coin scan; each toggle moves the undirected
+                    // edge between up and down, and both directed views
+                    // share the bit.
+                    for e in graph.edges() {
+                        let (u, v) = graph.endpoints(e);
+                        if adv.flips_edge(round, u, v) {
+                            edge_down[e.index() / 64] ^= 1 << (e.index() % 64);
+                            stats.edges_flipped += 1;
+                        }
+                    }
+                }
+            }
             compute(&mut slots[..active_len], round, &planes);
             active_len = Self::delivery_phase(
                 &config,
@@ -869,6 +1068,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 row_offsets,
                 &occ_offsets,
                 &mut alive,
+                flips_on.then_some(&edge_down).map(Vec::as_slice),
                 &mut outputs,
                 &mut active_count,
                 &mut stats,
@@ -1023,6 +1223,17 @@ impl<'g, P: Protocol> Engine<'g, P> {
                 }
                 let to = slot.info.neighbor_ids[port];
                 on_message(slot.info.id, to, bits);
+                if let Some(down) = args.edge_down {
+                    // Churn link state: a down edge eats the message
+                    // before receiver liveness is even observable. The
+                    // bit is keyed by undirected edge id, so both
+                    // directions fail together.
+                    let e = slot.neighbor_edges[port].index();
+                    if down[e / 64] >> (e % 64) & 1 == 1 {
+                        tally.adversary_dropped_messages += 1;
+                        continue;
+                    }
+                }
                 if !args.alive[to.index()] {
                     tally.dropped_messages += 1;
                     continue;
@@ -1173,6 +1384,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
         row_offsets: &[u32],
         occ_offsets: &[u32],
         alive: &mut [bool],
+        edge_down: Option<&[u64]>,
         outputs: &mut [Option<P::Output>],
         active_count: &mut usize,
         stats: &mut RunStats,
@@ -1198,6 +1410,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
             round,
             adversary: config.adversary.filter(Adversary::affects_delivery),
             scheduler: config.scheduler.filter(|s| s.max_delay() > 0),
+            edge_down,
         };
         let tally = if config.record_traces {
             // Tracing pins delivery to ascending node-id order (compaction
@@ -2082,6 +2295,9 @@ mod tests {
             corrupt_prob: 0.05,
             crash_prob: 0.01,
             restart_after: Some(3),
+            edge_flip_prob: 0.02,
+            node_join_prob: 0.3,
+            node_leave_prob: 0.01,
             seed: 99,
         };
         let config = SimConfig::congest_for(&g)
@@ -2099,6 +2315,134 @@ mod tests {
         assert!(a.stats.duplicated_messages > 0);
         assert!(a.stats.corrupted_messages > 0);
         assert!(a.stats.adversary_dropped_messages > 0);
+        assert!(a.stats.edges_flipped > 0);
+        assert!(a.stats.nodes_left > 0);
+    }
+
+    #[test]
+    fn edge_flips_replay_and_parallelize_bit_identically() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let g = generators::gnp(300, 0.03, &mut rng);
+        let config = SimConfig::congest_for(&g)
+            .with_max_rounds(64)
+            .with_adversary(Adversary::edge_flips(0.02, 13));
+        let a = Engine::build(&g, config.clone(), |_| gossip()).run(5);
+        let b = Engine::build(&g, config.clone(), |_| gossip()).run(5);
+        let par = Engine::build(&g, config, |_| gossip()).run_parallel(5);
+        assert!(
+            a.stats.edges_flipped > 0,
+            "2% flips over 64 rounds must fire"
+        );
+        assert!(
+            a.stats.adversary_dropped_messages > 0,
+            "down edges must eat messages"
+        );
+        assert_eq!(a.outputs, b.outputs, "flip schedules must replay");
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.outputs, par.outputs, "flips must be chunking-independent");
+        assert_eq!(a.stats, par.stats);
+        let clean = Engine::build(&g, SimConfig::congest_for(&g), |_| gossip()).run(5);
+        assert_ne!(a.outputs, clean.outputs, "flips must be observable");
+        assert_eq!(clean.stats.edges_flipped, 0);
+    }
+
+    #[test]
+    fn node_churn_replays_and_parallelizes_bit_identically() {
+        let g = generators::cycle(24);
+        let config = SimConfig::congest_for(&g)
+            .with_max_rounds(5_000)
+            .with_adversary(Adversary::node_churn(0.3, 0.03, 7));
+        let a = Engine::build(&g, config.clone(), |_| gossip()).run(9);
+        assert!(a.stats.nodes_left > 0, "3% leaves over 24 nodes must fire");
+        assert!(
+            a.stats.nodes_joined > 0,
+            "a 30% join coin must readmit leavers"
+        );
+        let b = Engine::build(&g, config.clone(), |_| gossip()).run(9);
+        let par = Engine::build(&g, config, |_| gossip()).run_parallel(9);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.outputs, par.outputs);
+        assert_eq!(a.stats, par.stats, "churn must be chunking-independent");
+    }
+
+    #[test]
+    fn leaves_without_joins_leave_holes() {
+        let g = generators::cycle(16);
+        let config = SimConfig::congest_for(&g)
+            .with_max_rounds(200)
+            .with_adversary(Adversary::node_churn(0.0, 0.5, 3));
+        let outcome = run_protocol(&g, config, |_| Forever, 0);
+        assert!(!outcome.completed);
+        assert!(outcome.stats.nodes_left > 0);
+        assert_eq!(outcome.stats.nodes_joined, 0);
+        assert_eq!(outcome.stats.crashed_nodes, 0, "leaves are not crashes");
+    }
+
+    #[test]
+    fn apply_deltas_retargets_onto_the_compacted_graph() {
+        use congest_graph::DeltaGraph;
+        // Grow a path 0–1–2 by the chord {0, 2} through the overlay, then
+        // retarget a pre-built engine onto the compacted graph: the run
+        // must be bit-identical to an engine built on that graph directly.
+        let g1 = generators::path(3);
+        let mut dg = DeltaGraph::new(generators::path(3));
+        dg.insert_edge(NodeId(0), NodeId(2), 1);
+        let deltas = dg.take_log();
+        let g2 = dg.compact();
+        let retargeted = Engine::build(&g1, SimConfig::local(), |_| Census { heard: Vec::new() })
+            .apply_deltas(&g2, &deltas)
+            .run(7);
+        let fresh = Engine::build(&g2, SimConfig::local(), |_| Census { heard: Vec::new() }).run(7);
+        assert!(retargeted.completed);
+        assert_eq!(retargeted.outputs, fresh.outputs);
+        assert_eq!(retargeted.stats, fresh.stats);
+        assert_eq!(
+            retargeted.outputs[1].as_ref().unwrap(),
+            &vec![NodeId(0), NodeId(2)]
+        );
+        assert_eq!(
+            retargeted.outputs[0].as_ref().unwrap(),
+            &vec![NodeId(1), NodeId(2)],
+            "node 0 must see the inserted chord"
+        );
+    }
+
+    #[test]
+    fn apply_deltas_grows_the_slot_space_for_added_nodes() {
+        use congest_graph::DeltaGraph;
+        let g1 = generators::path(2);
+        let mut dg = DeltaGraph::new(generators::path(2));
+        let v = dg.add_node(1);
+        dg.insert_edge(NodeId(1), v, 1);
+        let deltas = dg.take_log();
+        let g2 = dg.compact();
+        let outcome = Engine::build(&g1, SimConfig::local(), |_| Census { heard: Vec::new() })
+            .apply_deltas(&g2, &deltas)
+            .run(3);
+        assert!(outcome.completed);
+        assert_eq!(outcome.outputs.len(), 3);
+        assert_eq!(outcome.outputs[2].as_ref().unwrap(), &vec![NodeId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "Engine::apply_deltas: graph must keep the slot-id space")]
+    fn apply_deltas_rejects_a_shrunken_graph() {
+        let g1 = generators::path(3);
+        let g2 = generators::path(2);
+        let _ = Engine::build(&g1, SimConfig::local(), |_| Forever)
+            .apply_deltas(&g2, &DeltaSet::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "Engine::apply_deltas: delta node")]
+    fn apply_deltas_rejects_out_of_range_delta_nodes() {
+        let g = generators::path(2);
+        let deltas = DeltaSet {
+            joined: vec![NodeId(9)],
+            ..DeltaSet::default()
+        };
+        let _ = Engine::build(&g, SimConfig::local(), |_| Forever).apply_deltas(&g, &deltas);
     }
 
     /// The memory guard the 10M-node bench rows rely on: per directed

@@ -31,7 +31,18 @@
 //!   halted node — *unless* [`Adversary::restart_after`] is set, in which
 //!   case the node rejoins `k` rounds later with **reset protocol state**
 //!   (self-stabilization mode; counted in
-//!   [`RunStats::restarted_nodes`](crate::RunStats::restarted_nodes)).
+//!   [`RunStats::restarted_nodes`](crate::RunStats::restarted_nodes));
+//! * **topology churn** — at the start of each compute phase (rounds ≥ 1),
+//!   each undirected edge flips down/up with probability
+//!   [`Adversary::edge_flip_prob`] (a down edge silently eats every
+//!   message crossing it; counted in
+//!   [`RunStats::edges_flipped`](crate::RunStats::edges_flipped)), each
+//!   present node leaves with probability
+//!   [`Adversary::node_leave_prob`] (crash-like departure, counted in
+//!   [`RunStats::nodes_left`](crate::RunStats::nodes_left)), and each
+//!   departed node rejoins with reset protocol state with probability
+//!   [`Adversary::node_join_prob`] (counted in
+//!   [`RunStats::nodes_joined`](crate::RunStats::nodes_joined)).
 //!
 //! Every decision is a **pure function** of the adversary seed and the
 //! coordinates of the event — `(round, from, to)` for per-message coins,
@@ -73,6 +84,17 @@ pub struct Adversary {
     /// reset protocol state at round `r + k` (must be ≥ 1). `None` means
     /// crashes are permanent (crash-stop model).
     pub restart_after: Option<usize>,
+    /// Per-round probability that any single undirected edge flips its
+    /// link state (up → down or down → up). A down edge silently discards
+    /// every message crossing it, in either direction.
+    pub edge_flip_prob: f64,
+    /// Per-round probability that a *departed* node rejoins the network
+    /// with reset protocol state (a churn join; requires a prior leave).
+    pub node_join_prob: f64,
+    /// Per-round probability that a present node leaves the network
+    /// (crash-like: it stops computing and messages to it are dropped),
+    /// until a join coin readmits it.
+    pub node_leave_prob: f64,
     /// Seed of the adversary's private coin stream. Independent of the
     /// protocol seed: the same protocol run can be replayed under many
     /// fault schedules, and vice versa.
@@ -90,6 +112,9 @@ impl Default for Adversary {
             corrupt_prob: 0.0,
             crash_prob: 0.0,
             restart_after: None,
+            edge_flip_prob: 0.0,
+            node_join_prob: 0.0,
+            node_leave_prob: 0.0,
             seed: 0,
         }
     }
@@ -131,6 +156,22 @@ impl Adversary {
     /// probability `p`.
     pub fn node_crashes(p: f64, seed: u64) -> Self {
         Adversary::default().with_seed(seed).with_crash_prob(p)
+    }
+
+    /// An adversary that flips each undirected edge's link state with
+    /// per-round probability `p` (topology churn along the edge axis).
+    pub fn edge_flips(p: f64, seed: u64) -> Self {
+        Adversary::default().with_seed(seed).with_edge_flip_prob(p)
+    }
+
+    /// An adversary under which present nodes leave with per-round
+    /// probability `leave` and departed nodes rejoin (reset state) with
+    /// per-round probability `join` (topology churn along the node axis).
+    pub fn node_churn(join: f64, leave: f64, seed: u64) -> Self {
+        Adversary::default()
+            .with_seed(seed)
+            .with_node_join_prob(join)
+            .with_node_leave_prob(leave)
     }
 
     /// Returns the adversary with the message-drop probability replaced.
@@ -176,6 +217,27 @@ impl Adversary {
         self
     }
 
+    /// Returns the adversary with the edge-flip probability replaced.
+    pub fn with_edge_flip_prob(mut self, p: f64) -> Self {
+        check_prob("edge_flip_prob", p);
+        self.edge_flip_prob = p;
+        self
+    }
+
+    /// Returns the adversary with the node-join probability replaced.
+    pub fn with_node_join_prob(mut self, p: f64) -> Self {
+        check_prob("node_join_prob", p);
+        self.node_join_prob = p;
+        self
+    }
+
+    /// Returns the adversary with the node-leave probability replaced.
+    pub fn with_node_leave_prob(mut self, p: f64) -> Self {
+        check_prob("node_leave_prob", p);
+        self.node_leave_prob = p;
+        self
+    }
+
     /// Returns the adversary with the coin seed replaced.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -194,6 +256,9 @@ impl Adversary {
         if let Some(k) = self.restart_after {
             assert!(k >= 1, "Adversary::restart_after = {k} must be ≥ 1");
         }
+        check_prob("edge_flip_prob", self.edge_flip_prob);
+        check_prob("node_join_prob", self.node_join_prob);
+        check_prob("node_leave_prob", self.node_leave_prob);
     }
 
     /// Whether the adversary can ever fire; the engine skips its hooks
@@ -204,6 +269,14 @@ impl Adversary {
             || self.reorder_prob > 0.0
             || self.corrupt_prob > 0.0
             || self.crash_prob > 0.0
+            || self.has_churn()
+    }
+
+    /// Whether any topology-churn coin (edge flips, node joins/leaves)
+    /// can fire — the engine runs its per-round churn section, and keeps
+    /// active-slot compaction off, only when this holds.
+    pub fn has_churn(&self) -> bool {
+        self.edge_flip_prob > 0.0 || self.node_join_prob > 0.0 || self.node_leave_prob > 0.0
     }
 
     /// Whether any per-message delivery coin (drop / duplicate / corrupt)
@@ -282,6 +355,38 @@ impl Adversary {
         }
         coin(self.seed, CRASH_SALT, round as u64, u64::from(v.0)) < self.crash_prob
     }
+
+    /// Whether the undirected edge `{u, v}` flips its link state at the
+    /// start of `round`. Pure in `(seed, round, min(u,v), max(u,v))`, so
+    /// both directed views of the edge flip together.
+    #[inline]
+    pub fn flips_edge(&self, round: usize, u: NodeId, v: NodeId) -> bool {
+        if self.edge_flip_prob <= 0.0 {
+            return false;
+        }
+        let (lo, hi) = if u.0 <= v.0 { (u, v) } else { (v, u) };
+        coin(self.seed, FLIP_SALT, round as u64, edge_coord(lo, hi)) < self.edge_flip_prob
+    }
+
+    /// Whether the present node `v` leaves the network at the start of
+    /// `round`. Pure in `(seed, round, v)`.
+    #[inline]
+    pub fn leaves(&self, round: usize, v: NodeId) -> bool {
+        if self.node_leave_prob <= 0.0 {
+            return false;
+        }
+        coin(self.seed, LEAVE_SALT, round as u64, u64::from(v.0)) < self.node_leave_prob
+    }
+
+    /// Whether the departed node `v` rejoins the network at the start of
+    /// `round`. Pure in `(seed, round, v)`.
+    #[inline]
+    pub fn rejoins(&self, round: usize, v: NodeId) -> bool {
+        if self.node_join_prob <= 0.0 {
+            return false;
+        }
+        coin(self.seed, JOIN_SALT, round as u64, u64::from(v.0)) < self.node_join_prob
+    }
 }
 
 /// Packs a directed edge into one coin coordinate.
@@ -299,6 +404,9 @@ const CORRUPT_SALT: u64 = 0xC0FF_EE00_0000_0004;
 const ENTROPY_SALT: u64 = 0xE47B_0BEE_5000_0005;
 const REORDER_SALT: u64 = 0x5EC0_0D20_0000_0006;
 const SHUFFLE_SALT: u64 = 0x5837_FF1E_0000_0007;
+const FLIP_SALT: u64 = 0xF11F_ED6E_0000_000A;
+const LEAVE_SALT: u64 = 0x1EA7_E5C4_0000_000B;
+const JOIN_SALT: u64 = 0x901B_ACC0_0000_000C;
 
 #[cfg(test)]
 mod tests {
@@ -333,12 +441,17 @@ mod tests {
             corrupt_prob: 1.0,
             crash_prob: 1.0,
             restart_after: None,
+            edge_flip_prob: 1.0,
+            node_join_prob: 1.0,
+            node_leave_prob: 1.0,
             seed: 3,
         };
         assert!(!never.is_active());
         assert!(!never.affects_delivery());
+        assert!(!never.has_churn());
         assert!(always.is_active());
         assert!(always.affects_delivery());
+        assert!(always.has_churn());
         for r in 0..32 {
             let (u, v) = (NodeId(r as u32), NodeId(99));
             assert!(!never.drops_message(r, u, v));
@@ -346,11 +459,17 @@ mod tests {
             assert!(!never.corrupts_message(r, u, v));
             assert!(!never.reorders_inbox(r, u));
             assert!(!never.crashes(r, u));
+            assert!(!never.flips_edge(r, u, v));
+            assert!(!never.leaves(r, u));
+            assert!(!never.rejoins(r, u));
             assert!(always.drops_message(r, u, v));
             assert!(always.duplicates_message(r, u, v));
             assert!(always.corrupts_message(r, u, v));
             assert!(always.reorders_inbox(r, u));
             assert!(always.crashes(r, u));
+            assert!(always.flips_edge(r, u, v));
+            assert!(always.leaves(r, u));
+            assert!(always.rejoins(r, u));
         }
     }
 
@@ -382,6 +501,9 @@ mod tests {
             corrupt_prob: 0.5,
             crash_prob: 0.5,
             restart_after: None,
+            edge_flip_prob: 0.5,
+            node_join_prob: 0.5,
+            node_leave_prob: 0.5,
             seed: 42,
         };
         let streams = |r: usize| {
@@ -392,13 +514,17 @@ mod tests {
                 adv.corrupts_message(r, v, NodeId(0)),
                 adv.reorders_inbox(r, v),
                 adv.crashes(r, v),
+                adv.flips_edge(r, v, NodeId(0)),
+                adv.leaves(r, v),
+                adv.rejoins(r, v),
             ]
         };
-        let mut differs = [[false; 5]; 5];
+        const K: usize = 8;
+        let mut differs = [[false; K]; K];
         for r in 0..128 {
             let s = streams(r);
-            for i in 0..5 {
-                for j in 0..5 {
+            for i in 0..K {
+                for j in 0..K {
                     if s[i] != s[j] {
                         differs[i][j] = true;
                     }
@@ -467,6 +593,60 @@ mod tests {
     fn struct_literal_is_revalidated() {
         let adv = Adversary {
             reorder_prob: 7.0,
+            ..Adversary::default()
+        };
+        adv.validate();
+    }
+
+    #[test]
+    fn edge_flips_are_direction_symmetric() {
+        // Both directed views of an undirected edge must flip together —
+        // the coin is keyed by the sorted endpoint pair.
+        let adv = Adversary::edge_flips(0.5, 17);
+        let mut fired = false;
+        for r in 0..64 {
+            let (u, v) = (NodeId(r as u32), NodeId(r as u32 + 5));
+            assert_eq!(adv.flips_edge(r, u, v), adv.flips_edge(r, v, u));
+            fired |= adv.flips_edge(r, u, v);
+        }
+        assert!(fired, "p = 0.5 over 64 rounds must flip something");
+    }
+
+    #[test]
+    fn churn_constructors_set_their_fields() {
+        let flips = Adversary::edge_flips(0.25, 5);
+        assert_eq!(flips.edge_flip_prob, 0.25);
+        assert!(flips.has_churn() && flips.is_active());
+        assert!(!flips.affects_delivery(), "flips are not a delivery coin");
+        let churn = Adversary::node_churn(0.5, 0.125, 6);
+        assert_eq!(churn.node_join_prob, 0.5);
+        assert_eq!(churn.node_leave_prob, 0.125);
+        assert!(churn.has_churn() && churn.is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "Adversary::edge_flip_prob")]
+    fn out_of_range_edge_flip_prob_is_rejected() {
+        let _ = Adversary::edge_flips(1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Adversary::node_join_prob")]
+    fn nan_node_join_prob_is_rejected() {
+        let _ = Adversary::node_churn(f64::NAN, 0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Adversary::node_leave_prob")]
+    fn negative_node_leave_prob_is_rejected() {
+        let _ = Adversary::node_churn(0.1, -0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Adversary::edge_flip_prob")]
+    fn churn_struct_literal_is_revalidated() {
+        let adv = Adversary {
+            edge_flip_prob: f64::INFINITY,
             ..Adversary::default()
         };
         adv.validate();

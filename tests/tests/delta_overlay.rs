@@ -1,0 +1,261 @@
+//! Property-based tests for the [`DeltaGraph`] overlay and the engine's
+//! churn adversary.
+//!
+//! The overlay's contract is that *any* interleaving of edge inserts,
+//! edge removals, node joins, and node departures — applied against a
+//! gnp, Watts–Strogatz, or power-law-cluster base — yields an overlay
+//! whose [`DeltaGraph::fingerprint`] equals both the fingerprint of its
+//! own [`DeltaGraph::compact`] output and the fingerprint of a fresh CSR
+//! build of the same (weights, edge set) from scratch. The engine's
+//! contract is that under every churn knob (`edge_flip_prob`,
+//! `node_join_prob`, `node_leave_prob`, alone or combined) `run` is
+//! bit-identical to a replayed `run` and to `run_parallel`, and that a
+//! zeroed knob leaves its `RunStats` counter at zero.
+
+use std::collections::BTreeMap;
+
+use congest_graph::{generators, DeltaGraph, Graph, GraphBuilder, NodeId};
+use congest_mis::LubyMis;
+use congest_sim::{Adversary, Engine, SimConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Mirror of the overlay's expected state, maintained alongside the
+/// mutations: per-slot weights (0 for dead slots), liveness flags, and
+/// the live edge set keyed by `(min, max)` endpoint pair.
+struct Mirror {
+    weights: Vec<u64>,
+    alive: Vec<bool>,
+    edges: BTreeMap<(u32, u32), u64>,
+}
+
+impl Mirror {
+    fn of(g: &Graph) -> Self {
+        let mut edges = BTreeMap::new();
+        for v in g.nodes() {
+            for (u, e) in g.neighbors(v) {
+                if v < u {
+                    edges.insert((v.0, u.0), g.edge_weight(e));
+                }
+            }
+        }
+        Mirror {
+            weights: g.nodes().map(|v| g.node_weight(v)).collect(),
+            alive: vec![true; g.num_nodes()],
+            edges,
+        }
+    }
+
+    fn alive_slots(&self) -> Vec<u32> {
+        (0..self.alive.len() as u32)
+            .filter(|&i| self.alive[i as usize])
+            .collect()
+    }
+
+    /// Rebuilds the expected graph from scratch, the way `compact` is
+    /// specified to: all slots (dead ones weight 0, degree 0), live
+    /// edges only.
+    fn fresh_build(&self) -> Graph {
+        let mut b = GraphBuilder::with_nodes(self.weights.len());
+        for (i, &w) in self.weights.iter().enumerate() {
+            b.set_node_weight(NodeId(i as u32), w);
+        }
+        for (&(u, v), &w) in &self.edges {
+            b.add_weighted_edge(NodeId(u), NodeId(v), w);
+        }
+        b.build()
+    }
+}
+
+/// One overlay mutation, drawn as raw indices; `apply` interprets the
+/// indices against the current state so every drawn op is valid (ops
+/// whose preconditions can't be met — e.g. removing an edge from an
+/// empty edge set — are skipped, which proptest's shrinking tolerates).
+type Op = (u8, u16, u16, u8);
+
+fn apply(dg: &mut DeltaGraph, m: &mut Mirror, op: Op) {
+    let (kind, a, b, wb) = op;
+    match kind % 4 {
+        0 => {
+            // Insert an edge between two distinct live slots.
+            let alive = m.alive_slots();
+            if alive.len() < 2 {
+                return;
+            }
+            let u = alive[a as usize % alive.len()];
+            let v = alive[b as usize % alive.len()];
+            if u == v {
+                return;
+            }
+            let key = (u.min(v), u.max(v));
+            if m.edges.contains_key(&key) {
+                return;
+            }
+            let w = u64::from(wb % 32) + 1;
+            dg.insert_edge(NodeId(u), NodeId(v), w);
+            m.edges.insert(key, w);
+        }
+        1 => {
+            // Remove a currently-live edge.
+            if m.edges.is_empty() {
+                return;
+            }
+            let idx = a as usize % m.edges.len();
+            let &(u, v) = m.edges.keys().nth(idx).unwrap();
+            dg.remove_edge(NodeId(u), NodeId(v));
+            m.edges.remove(&(u, v));
+        }
+        2 => {
+            // Join: the overlay either reuses the smallest parked slot
+            // or appends a new one — mirror whichever it picked.
+            let w = u64::from(wb % 16) + 1;
+            let v = dg.add_node(w);
+            if v.index() == m.weights.len() {
+                m.weights.push(w);
+                m.alive.push(true);
+            } else {
+                m.weights[v.index()] = w;
+                m.alive[v.index()] = true;
+            }
+        }
+        _ => {
+            // Leave: departures cascade into removals of every incident
+            // live edge and zero the slot weight.
+            let alive = m.alive_slots();
+            if alive.len() <= 2 {
+                return;
+            }
+            let v = alive[a as usize % alive.len()];
+            dg.remove_node(NodeId(v));
+            m.alive[v as usize] = false;
+            m.weights[v as usize] = 0;
+            m.edges.retain(|&(x, y), _| x != v && y != v);
+        }
+    }
+}
+
+/// Strategy: a base graph from one of the three supported families plus
+/// a history of overlay mutations.
+fn arb_history() -> impl Strategy<Value = (Graph, Vec<Op>)> {
+    (
+        0u8..3,
+        6usize..=24,
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+        0usize..40,
+    )
+        .prop_map(|(family, n, seed, op_seed, op_count)| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut g = match family {
+                0 => generators::gnp(n, 0.2, &mut rng),
+                1 => generators::watts_strogatz(n, 4, 0.2, &mut rng),
+                _ => generators::power_law_cluster(n, 2, 0.3, &mut rng),
+            };
+            generators::randomize_node_weights(&mut g, 32, &mut rng);
+            generators::randomize_edge_weights(&mut g, 32, &mut rng);
+            let mut op_rng = SmallRng::seed_from_u64(op_seed);
+            let ops = (0..op_count)
+                .map(|_| {
+                    (
+                        op_rng.random::<u32>() as u8,
+                        op_rng.random::<u32>() as u16,
+                        op_rng.random::<u32>() as u16,
+                        op_rng.random::<u32>() as u8,
+                    )
+                })
+                .collect();
+            (g, ops)
+        })
+}
+
+/// Churn knob levels: index 0 is off, the rest are light-to-heavy.
+const KNOB: [f64; 4] = [0.0, 0.02, 0.05, 0.12];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any interleaving of inserts/removes/joins/leaves followed by
+    /// `compact()` is fingerprint-identical to a fresh CSR build of the
+    /// same edge set — across gnp / Watts–Strogatz / power-law-cluster
+    /// bases.
+    #[test]
+    fn overlay_compact_and_fresh_build_agree(history in arb_history()) {
+        let (g, ops) = history;
+        let mut m = Mirror::of(&g);
+        let mut dg = DeltaGraph::new(g);
+        for op in ops {
+            apply(&mut dg, &mut m, op);
+        }
+        let compacted = dg.compact();
+        prop_assert_eq!(
+            dg.fingerprint(),
+            compacted.fingerprint());
+        let fresh = m.fresh_build();
+        prop_assert_eq!(
+            compacted.fingerprint(),
+            fresh.fingerprint());
+        prop_assert_eq!(compacted.num_edges(), m.edges.len());
+        prop_assert_eq!(dg.num_live_nodes(), m.alive_slots().len());
+    }
+
+    /// The compacted graph round-trips: wrapping it in a fresh overlay
+    /// with no mutations preserves the fingerprint.
+    #[test]
+    fn compacted_graph_roundtrips_through_an_idle_overlay(history in arb_history()) {
+        let (g, ops) = history;
+        let mut m = Mirror::of(&g);
+        let mut dg = DeltaGraph::new(g);
+        for op in ops {
+            apply(&mut dg, &mut m, op);
+        }
+        let compacted = dg.compact();
+        let idle = DeltaGraph::new(compacted.clone());
+        prop_assert_eq!(idle.fingerprint(), compacted.fingerprint());
+        prop_assert_eq!(idle.compact().fingerprint(), compacted.fingerprint());
+    }
+
+    /// Under every churn knob — flips, joins, leaves, alone or combined
+    /// — a run replays bit-identically and matches the deterministic
+    /// parallel executor, and zeroed knobs leave their counters at zero.
+    #[test]
+    fn churned_runs_replay_and_match_parallel(
+        n in 6usize..=20,
+        gseed in 0u64..=u64::MAX,
+        flip in 0usize..4,
+        join in 0usize..4,
+        leave in 0usize..4,
+        aseed in 0u64..1000,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(gseed);
+        let g = generators::gnp(n, 0.3, &mut rng);
+        let adversary = Adversary::default()
+            .with_seed(aseed)
+            .with_edge_flip_prob(KNOB[flip])
+            .with_node_join_prob(KNOB[join])
+            .with_node_leave_prob(KNOB[leave]);
+        let config = SimConfig::congest_for(&g)
+            .with_max_rounds(96)
+            .with_adversary(adversary);
+        let first = Engine::build(&g, config.clone(), |_| LubyMis::new()).run(seed);
+        let replay = Engine::build(&g, config.clone(), |_| LubyMis::new()).run(seed);
+        let parallel = Engine::build(&g, config, |_| LubyMis::new()).run_parallel(seed);
+        prop_assert_eq!(&first.outputs, &replay.outputs);
+        prop_assert_eq!(&first.stats, &replay.stats);
+        prop_assert_eq!(first.completed, replay.completed);
+        prop_assert_eq!(&first.outputs, &parallel.outputs);
+        prop_assert_eq!(&first.stats, &parallel.stats);
+        prop_assert_eq!(first.completed, parallel.completed);
+        if flip == 0 {
+            prop_assert_eq!(first.stats.edges_flipped, 0);
+        }
+        if join == 0 {
+            prop_assert_eq!(first.stats.nodes_joined, 0);
+        }
+        if leave == 0 {
+            prop_assert_eq!(first.stats.nodes_left, 0);
+            prop_assert_eq!(first.stats.nodes_joined, 0);
+        }
+    }
+}
