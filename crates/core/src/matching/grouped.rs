@@ -28,7 +28,7 @@
 //!    resolved; a candidate with both sides clear joins the matching,
 //!    killing the waiting candidates at its endpoints (locally).
 
-use congest_graph::{Graph, Matching, NodeId};
+use congest_graph::{Graph, Matching, NodeId, ShardPartition};
 use congest_sim::{
     bits_for_value, run_protocol, Context, Engine, Inbox, Message, PackedMsg, Port, Protocol,
     RunOutcome, SimConfig, Status,
@@ -524,13 +524,39 @@ pub fn mwm_grouped_with_parallel(
     finish_grouped_run(g, &outcome)
 }
 
+/// [`mwm_grouped_with`] on the engine's sharded executor
+/// ([`Engine::run_sharded`]): same protocol, same assembly, bit-identical
+/// matching for a given `(graph, config, seed)` under *any* partition.
+/// The extra return value is the number of delivered messages that
+/// crossed a shard boundary — the coordinator↔worker traffic a sharded
+/// matching service pays for this request.
+pub fn mwm_grouped_with_sharded(
+    g: &Graph,
+    config: SimConfig,
+    seed: u64,
+    partition: &ShardPartition,
+) -> (super::LrMatchingRun, bool, u64) {
+    let sharded =
+        Engine::build(g, config, |_| GroupedLrMatching::new()).run_sharded(seed, partition);
+    let (run, completed) = finish_grouped_run(g, &sharded.outcome);
+    (run, completed, sharded.cross_shard_messages)
+}
+
 fn finish_grouped_run(
     g: &Graph,
     outcome: &RunOutcome<Option<(u32, NodeId)>>,
 ) -> (super::LrMatchingRun, bool) {
     let completed = outcome.completed;
     let stats = outcome.stats.clone();
-    let matching = assemble_matching(g, &outcome.outputs);
+    let mut matching = assemble_matching(g, &outcome.outputs);
+    if completed {
+        // Maximality repair (see `augment_to_maximal`): weight exhaustion
+        // can leave two adjacent nodes unmatched under non-unit weights.
+        // Only on completed runs — a fault-degraded run keeps its
+        // degrade-to-unmatched semantics.
+        super::augment_to_maximal(g, &mut matching);
+        debug_assert!(matching.is_maximal(g), "augmented matching must be maximal");
+    }
     let run = super::LrMatchingRun {
         matching,
         line_rounds: stats.rounds,
@@ -591,11 +617,25 @@ mod tests {
 
     #[test]
     fn matchings_are_maximal() {
+        // Unit weights (historic coverage) PLUS uniform / zipf /
+        // adversarial weight distributions — the regression for the
+        // weight-exhaustion maximality gap: under non-unit weights,
+        // local-ratio reductions can kill every edge at a node without
+        // matching it, leaving adjacent unmatched nodes. The augmentation
+        // pass in `finish_grouped_run` must close that gap on every
+        // distribution.
         let mut rng = SmallRng::seed_from_u64(151);
-        for trial in 0..5 {
-            let g = generators::random_regular(40, 4, &mut rng);
-            let run = mwm_grouped(&g, 2000 + trial);
-            assert!(run.matching.is_maximal(&g), "trial {trial}");
+        for trial in 0..5u64 {
+            for dist in ["unit", "uniform", "zipf", "adversarial"] {
+                let mut g = generators::random_regular(40, 4, &mut rng);
+                crate::matching::tests::apply_weight_distribution(&mut g, dist, 151 + trial);
+                let run = mwm_grouped(&g, 2000 + trial);
+                assert!(
+                    run.matching.is_maximal(&g),
+                    "trial {trial}: grouped matching not maximal under {dist} weights"
+                );
+                assert!(run.matching.is_valid(&g), "trial {trial} ({dist})");
+            }
         }
     }
 

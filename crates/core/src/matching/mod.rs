@@ -18,7 +18,9 @@
 mod grouped;
 mod repair;
 
-pub use grouped::{mwm_grouped, mwm_grouped_with, mwm_grouped_with_parallel, GroupedMsg};
+pub use grouped::{
+    mwm_grouped, mwm_grouped_with, mwm_grouped_with_parallel, mwm_grouped_with_sharded, GroupedMsg,
+};
 pub use repair::{grouped_mwm_repair, MatchingRepairRun};
 
 use congest_graph::{EdgeId, Graph, Matching};
@@ -47,7 +49,43 @@ fn matching_from_line_outputs(g: &Graph, in_set: impl Iterator<Item = bool>) -> 
             m.insert(g, EdgeId(i as u32));
         }
     }
+    augment_to_maximal(g, &mut m);
     m
+}
+
+/// Greedily extends `m` with free edges (both endpoints unmatched) in
+/// descending weight order (edge id breaks ties), returning how many
+/// edges were added. Afterwards `m` is maximal: any edge still free-free
+/// was free-free when collected — matchedness only grows — so it would
+/// have been inserted when its turn came.
+///
+/// The local-ratio runs need this because weight exhaustion (`w ≤ 0`)
+/// removes edges without matching either endpoint: under non-unit
+/// weights a node can lose every incident edge to reductions and end the
+/// run unmatched next to another such node. (On unit weights an edge
+/// only exhausts when an adjacent edge wins, so the gap never opens.)
+/// The pass is a pure function of `(g, m)` — no RNG, no iteration-order
+/// dependence — so sequential and parallel executors assemble identical
+/// matchings, and it only adds weight, preserving the 2-approximation.
+/// In CONGEST terms it is one more maximal-matching phase on the
+/// zero-residual subgraph, the same primitive the grouped cycle already
+/// runs once per weight layer; it is performed centrally at assembly.
+pub fn augment_to_maximal(g: &Graph, m: &mut Matching) -> usize {
+    let mut free: Vec<EdgeId> = g
+        .edges()
+        .filter(|&e| {
+            let (u, v) = g.endpoints(e);
+            !m.is_matched(u) && !m.is_matched(v)
+        })
+        .collect();
+    free.sort_by_key(|&e| (std::cmp::Reverse(g.edge_weight(e)), e));
+    let mut added = 0;
+    for e in free {
+        if m.try_insert(g, e) {
+            added += 1;
+        }
+    }
+    added
 }
 
 /// Randomized 2-approximate MWM: Algorithm 2 on `L(G)`,
@@ -62,6 +100,7 @@ pub fn mwm_lr_randomized(g: &Graph, cfg: &Alg2Config, seed: u64) -> LrMatchingRu
                 .contains(congest_graph::NodeId(i as u32))
         }),
     );
+    debug_assert!(matching.is_maximal(g), "augmented matching must be maximal");
     LrMatchingRun {
         matching,
         line_rounds: run.rounds,
@@ -83,6 +122,7 @@ pub fn mwm_lr_deterministic(g: &Graph) -> LrMatchingRun {
                 .contains(congest_graph::NodeId(i as u32))
         }),
     );
+    debug_assert!(matching.is_maximal(g), "augmented matching must be maximal");
     LrMatchingRun {
         matching,
         line_rounds: run.rounds,
@@ -97,7 +137,49 @@ mod tests {
     use congest_exact::max_weight_matching_oracle;
     use congest_graph::generators;
     use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Applies a named edge-weight distribution in place; shared by this
+    /// module's and `grouped`'s maximality regressions.
+    ///
+    /// * `unit` — leave the default weight 1 everywhere.
+    /// * `uniform` — independent draws from `1..=256`.
+    /// * `zipf` — heavy-tailed: weight `max(1, 1024 / (1 + rank))` with
+    ///   ranks assigned in a seeded shuffle, so a few edges dominate.
+    /// * `adversarial` — exponentially separated powers of two cycling
+    ///   with edge id, the worst case for local-ratio weight exhaustion
+    ///   (a heavy edge's reduction zeroes whole neighborhoods at once).
+    pub(crate) fn apply_weight_distribution(g: &mut Graph, dist: &str, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = g.num_edges();
+        match dist {
+            "unit" => {}
+            "uniform" => {
+                for e in 0..m {
+                    let w = rng.random_range(1..=256u64);
+                    g.set_edge_weight(EdgeId(e as u32), w);
+                }
+            }
+            "zipf" => {
+                let mut ranks: Vec<usize> = (0..m).collect();
+                for i in (1..ranks.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    ranks.swap(i, j);
+                }
+                for (e, &rank) in ranks.iter().enumerate() {
+                    let w = (1024 / (1 + rank as u64)).max(1);
+                    g.set_edge_weight(EdgeId(e as u32), w);
+                }
+            }
+            "adversarial" => {
+                for e in 0..m {
+                    let w = 1u64 << (e % 8);
+                    g.set_edge_weight(EdgeId(e as u32), w);
+                }
+            }
+            other => panic!("unknown weight distribution {other}"),
+        }
+    }
 
     fn check_two_approx(g: &Graph, m: &Matching, label: &str) {
         assert!(m.is_valid(g), "{label}: invalid matching");
@@ -167,9 +249,47 @@ mod tests {
     }
 
     #[test]
-    fn matchings_are_maximal_on_unit_weights() {
-        let g = generators::cycle(11);
-        let run = mwm_lr_randomized(&g, &Alg2Config::default(), 5);
-        assert!(run.matching.is_maximal(&g));
+    fn matchings_are_maximal() {
+        // Formerly `matchings_are_maximal_on_unit_weights` — the unit-only
+        // restriction was the documented caveat for the weight-exhaustion
+        // maximality gap. With the augmentation pass the invariant holds
+        // on every weight distribution, for both LR drivers.
+        for dist in ["unit", "uniform", "zipf", "adversarial"] {
+            let mut g = generators::cycle(11);
+            apply_weight_distribution(&mut g, dist, 5);
+            let run = mwm_lr_randomized(&g, &Alg2Config::default(), 5);
+            assert!(
+                run.matching.is_maximal(&g),
+                "randomized LR matching not maximal under {dist} weights"
+            );
+
+            let mut rng = SmallRng::seed_from_u64(53);
+            let mut g2 = generators::gnp(18, 0.25, &mut rng);
+            apply_weight_distribution(&mut g2, dist, 7);
+            let run2 = mwm_lr_deterministic(&g2);
+            assert!(
+                run2.matching.is_maximal(&g2),
+                "deterministic LR matching not maximal under {dist} weights"
+            );
+        }
+    }
+
+    #[test]
+    fn augmentation_is_greedy_heaviest_first_and_idempotent() {
+        // On a path with all nodes unmatched, the pass must take the
+        // heaviest free edge first (weight 9 in the middle), then the
+        // remaining free-free edge; a second invocation is a no-op.
+        let mut b = congest_graph::GraphBuilder::with_nodes(5);
+        b.add_weighted_edge(0.into(), 1.into(), 2);
+        b.add_weighted_edge(1.into(), 2.into(), 9);
+        b.add_weighted_edge(2.into(), 3.into(), 2);
+        b.add_weighted_edge(3.into(), 4.into(), 2);
+        let g = b.build();
+        let mut m = Matching::new(&g);
+        let added = augment_to_maximal(&g, &mut m);
+        assert_eq!(added, 2);
+        assert_eq!(m.weight(&g), 11, "heaviest-first: 9 then 3–4");
+        assert!(m.is_maximal(&g));
+        assert_eq!(augment_to_maximal(&g, &mut m), 0, "idempotent");
     }
 }

@@ -273,6 +273,44 @@ mod tests {
     }
 
     #[test]
+    fn repair_survives_fully_departed_graph_without_an_engine_run() {
+        // Saturation churn removes every node; the compacted graph keeps
+        // the slot space but no edges. No prior pair survives, the
+        // free-node subgraph is edgeless, and repair must return the
+        // empty matching in zero rounds instead of relying on the caller
+        // to special-case it.
+        let mut rng = SmallRng::seed_from_u64(260);
+        let mut base = generators::gnp(18, 0.25, &mut rng);
+        generators::randomize_edge_weights(&mut base, 32, &mut rng);
+        let n = base.num_nodes();
+        let prior_run = mwm_grouped(&base, 21);
+        let prior = pairs_of(&base, &prior_run.matching);
+        let mut dg = DeltaGraph::new(base);
+        for v in 0..n as u32 {
+            dg.remove_node(NodeId::from(v));
+        }
+        assert_eq!(dg.num_live_nodes(), 0);
+        let deltas = dg.take_log();
+        let g2 = dg.compact();
+        assert_eq!(g2.num_edges(), 0);
+        for parallel in [false, true] {
+            let run = grouped_mwm_repair(&g2, &prior, &deltas, 22, parallel);
+            assert!(run.matching.is_empty(), "no edges can be matched");
+            assert_eq!(run.rounds, 0, "edgeless repair must not cost engine rounds");
+            assert_eq!(run.repaired, 0);
+            assert_eq!(run.stats, RunStats::default());
+        }
+    }
+
+    #[test]
+    fn repair_survives_zero_slot_graph() {
+        let g0 = congest_graph::GraphBuilder::new().build();
+        let run = grouped_mwm_repair(&g0, &[], &DeltaSet::default(), 1, false);
+        assert!(run.matching.is_empty());
+        assert_eq!(run.rounds, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "grouped_mwm_repair: prior_pairs reuses an endpoint")]
     fn overlapping_prior_pairs_are_rejected() {
         let g = generators::path(4);

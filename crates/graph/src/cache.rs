@@ -1,0 +1,190 @@
+//! Fingerprint-keyed result cache for the matching-as-a-service façade.
+//!
+//! The PR 9 contract makes [`Graph::fingerprint`](crate::DeltaGraph) a
+//! one-`u64` digest of the whole structure (adjacency + weights + live
+//! set), so a served result is safe to replay exactly when the current
+//! fingerprint equals the one it was computed under. [`FingerprintCache`]
+//! encodes that rule: entries are keyed by fingerprint, and a mutation
+//! that changes the fingerprint makes every stale entry unreachable —
+//! callers additionally call [`retain_current`](FingerprintCache::retain_current)
+//! after mutations to reclaim the memory eagerly.
+//!
+//! The cache is deterministic end to end: `BTreeMap` storage (the
+//! workspace bans std's randomized hasher), FIFO eviction driven by
+//! insertion order only, and hit/miss counters that are pure functions
+//! of the request trace.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// A bounded, deterministic map from graph fingerprint to a cached
+/// result of type `T`.
+///
+/// Eviction is FIFO over *insertion order* (not access order — LRU would
+/// make the cache contents depend on read traffic, which is harmless for
+/// correctness but makes replay debugging noisier). Capacity 0 is legal
+/// and turns the cache into a pure pass-through that still counts
+/// misses.
+#[derive(Clone, Debug)]
+pub struct FingerprintCache<T> {
+    entries: BTreeMap<u64, T>,
+    /// Fingerprints in insertion order; front is evicted first.
+    order: VecDeque<u64>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<T> FingerprintCache<T> {
+    /// Creates an empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        FingerprintCache {
+            entries: BTreeMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the result cached under `fingerprint`, counting a hit or
+    /// miss.
+    pub fn get(&mut self, fingerprint: u64) -> Option<&T> {
+        match self.entries.get(&fingerprint) {
+            Some(v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Like [`get`](FingerprintCache::get) but yields a mutable
+    /// reference, for caches whose values are themselves maps (e.g. one
+    /// seeded result per request seed under a single fingerprint).
+    pub fn get_mut(&mut self, fingerprint: u64) -> Option<&mut T> {
+        match self.entries.get_mut(&fingerprint) {
+            Some(v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `fingerprint`, evicting the oldest entry if
+    /// the cache is full. Re-inserting an existing key replaces the
+    /// value without changing its eviction position.
+    pub fn insert(&mut self, fingerprint: u64, value: T) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.insert(fingerprint, value).is_none() {
+            self.order.push_back(fingerprint);
+            if self.order.len() > self.capacity {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.entries.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Drops every entry except the one keyed by `fingerprint` (if
+    /// present). Called after a fingerprint-changing mutation: stale
+    /// results can never be served again, so holding them is pure waste.
+    pub fn retain_current(&mut self, fingerprint: u64) {
+        self.entries.retain(|&k, _| k == fingerprint);
+        self.order.retain(|&k| k == fingerprint);
+    }
+
+    /// Removes all entries (counters are preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to recompute so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut c = FingerprintCache::new(4);
+        assert!(c.get(1).is_none());
+        c.insert(1, "a");
+        assert_eq!(c.get(1), Some(&"a"));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_drops_oldest() {
+        let mut c = FingerprintCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        assert!(c.get(1).is_none(), "oldest entry evicted");
+        assert_eq!(c.get(2), Some(&20));
+        assert_eq!(c.get(3), Some(&30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_duplicating_order() {
+        let mut c = FingerprintCache::new(2);
+        c.insert(1, 10);
+        c.insert(1, 11);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        // Key 1 was oldest despite the re-insert, so it goes first.
+        assert!(c.get(1).is_none());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn retain_current_drops_stale_keys() {
+        let mut c = FingerprintCache::new(8);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.retain_current(2);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.get(2), Some(&20));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_a_pass_through() {
+        let mut c = FingerprintCache::new(0);
+        c.insert(1, 10);
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.misses(), 1);
+    }
+}

@@ -35,17 +35,21 @@
 //! ```
 
 mod builder;
+mod cache;
 mod delta;
 mod graph;
 mod independent_set;
 mod matching;
 mod props;
+mod shard;
 
 pub mod generators;
 
 pub use builder::GraphBuilder;
+pub use cache::FingerprintCache;
 pub use delta::{DeltaGraph, DeltaSet};
 pub use graph::{EdgeId, Graph, NodeId};
 pub use independent_set::IndependentSet;
 pub use matching::Matching;
 pub use props::Bipartition;
+pub use shard::ShardPartition;

@@ -1,0 +1,175 @@
+//! Contiguous node-slot sharding for the matching-as-a-service façade.
+//!
+//! A [`ShardPartition`] splits the slot-id space `0..n` into `k`
+//! contiguous ranges. Contiguity is what makes sharding free on the CSR
+//! representation: a shard's message-plane rows (`row_offsets[start] ..
+//! row_offsets[end]`) are one contiguous block, so per-shard worker
+//! threads operate on disjoint plane slices without any index
+//! translation, and cross-shard edges are exactly the CSR rows whose
+//! neighbor id falls outside the owner's range.
+//!
+//! The partition is a pure function of `(n, shards)`, so every replica
+//! that agrees on the graph agrees on the shard map — no coordination
+//! state to reconcile and nothing to persist besides the two integers.
+
+use crate::graph::{Graph, NodeId};
+
+/// A partition of the node-slot space `0..n` into contiguous shards.
+///
+/// Shard `s` owns the half-open slot range [`range`](Self::range)`(s)`;
+/// ranges are balanced to within one slot (the first `n % k` shards are
+/// one slot larger). A partition over `n = 0` is legal — every shard
+/// owns an empty range — so a fully-departed graph keeps a well-formed
+/// shard map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPartition {
+    /// `starts[s]` = first slot of shard `s`; `starts[k]` = `n`.
+    starts: Vec<u32>,
+}
+
+impl ShardPartition {
+    /// Balanced contiguous partition of `n` slots into `shards` ranges.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or `n` exceeds `u32` slot space.
+    pub fn contiguous(n: usize, shards: usize) -> Self {
+        assert!(shards > 0, "ShardPartition: need at least one shard");
+        assert!(
+            n <= u32::MAX as usize,
+            "ShardPartition: slot space overflow"
+        );
+        let base = n / shards;
+        let extra = n % shards;
+        let mut starts = Vec::with_capacity(shards + 1);
+        let mut at = 0usize;
+        starts.push(0);
+        for s in 0..shards {
+            at += base + usize::from(s < extra);
+            starts.push(at as u32);
+        }
+        ShardPartition { starts }
+    }
+
+    /// Number of shards `k`.
+    pub fn shards(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Number of slots covered (`n`).
+    pub fn num_slots(&self) -> usize {
+        self.starts[self.shards()] as usize
+    }
+
+    /// Slot range owned by shard `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn range(&self, s: usize) -> core::ops::Range<usize> {
+        self.starts[s] as usize..self.starts[s + 1] as usize
+    }
+
+    /// The shard owning slot `v` (binary search over the `k + 1` range
+    /// starts).
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the covered slot space.
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        assert!(
+            (v.index()) < self.num_slots(),
+            "ShardPartition::shard_of: slot {} outside 0..{}",
+            v.index(),
+            self.num_slots()
+        );
+        // partition_point returns the count of starts ≤ v, which is the
+        // owning shard + 1 (starts[0] = 0 is always ≤ v).
+        self.starts.partition_point(|&s| s <= v.0) - 1
+    }
+
+    /// Number of undirected edges of `g` whose endpoints live in
+    /// different shards — the coordinator↔worker communication surface
+    /// a sharded run pays for.
+    ///
+    /// # Panics
+    /// Panics if `g` has more slots than the partition covers.
+    pub fn cross_shard_edges(&self, g: &Graph) -> usize {
+        assert!(
+            g.num_nodes() <= self.num_slots(),
+            "ShardPartition::cross_shard_edges: graph has {} slots, partition covers {}",
+            g.num_nodes(),
+            self.num_slots()
+        );
+        g.edges()
+            .filter(|&e| {
+                let (u, v) = g.endpoints(e);
+                self.shard_of(u) != self.shard_of(v)
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn balanced_ranges_cover_the_slot_space() {
+        for n in [0usize, 1, 7, 64, 1001] {
+            for k in [1usize, 2, 3, 8] {
+                let p = ShardPartition::contiguous(n, k);
+                assert_eq!(p.shards(), k);
+                assert_eq!(p.num_slots(), n);
+                let mut covered = 0;
+                for s in 0..k {
+                    let r = p.range(s);
+                    assert_eq!(r.start, covered, "ranges are contiguous");
+                    covered = r.end;
+                    // Balanced to within one slot.
+                    assert!(r.len() >= n / k && r.len() <= n / k + 1);
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_agrees_with_ranges() {
+        let p = ShardPartition::contiguous(100, 7);
+        for s in 0..p.shards() {
+            for v in p.range(s) {
+                assert_eq!(p.shard_of(NodeId(v as u32)), s);
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_has_no_cross_edges() {
+        let g = generators::complete(9);
+        let p = ShardPartition::contiguous(9, 1);
+        assert_eq!(p.cross_shard_edges(&g), 0);
+    }
+
+    #[test]
+    fn cross_edges_counted_on_a_path() {
+        // path(10) split into 2 shards of 5: exactly the edge 4–5 crosses.
+        let g = generators::path(10);
+        let p = ShardPartition::contiguous(10, 2);
+        assert_eq!(p.cross_shard_edges(&g), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one shard")]
+    fn zero_shards_rejected() {
+        ShardPartition::contiguous(4, 0);
+    }
+
+    #[test]
+    fn more_shards_than_slots_leaves_empty_tails() {
+        let p = ShardPartition::contiguous(2, 5);
+        assert_eq!(p.range(0), 0..1);
+        assert_eq!(p.range(1), 1..2);
+        for s in 2..5 {
+            assert!(p.range(s).is_empty());
+        }
+    }
+}

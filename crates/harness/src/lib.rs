@@ -41,9 +41,17 @@
 //! the churn adversary, plus `DeltaGraph` repair probes comparing the
 //! incremental `luby_repair`/`grouped_mwm_repair` variants against
 //! from-scratch recomputes, ledgered in `CHURN_engine.json`.
+//!
+//! A fifth suite — the [`service`] oracle grid — drives the
+//! matching-as-a-service façade (`congest-service`) through its whole
+//! request surface on the same small topologies and validates every
+//! *served* answer (matchings, MIS, point queries, post-delta repairs)
+//! against the exact oracles, ledgered in `SERVICE_engine.json`
+//! alongside the `load_gen` throughput records.
 
 pub mod churn;
 pub mod degradation;
+pub mod service;
 pub use churn::{
     churn_acceptance, churn_cell, churn_suite, ChurnAxis, ChurnReport, CHURN_AXES, CHURN_LEVELS,
     CHURN_PROTOCOLS,
@@ -52,6 +60,7 @@ pub use degradation::{
     degradation_cell, degradation_suite, DegradationReport, FaultAxis, AXES, DEGRADATION_PROTOCOLS,
     LEVELS,
 };
+pub use service::{service_cell, service_suite, ServiceReport, SERVICE_SHARDS, SERVICE_WEIGHTINGS};
 
 use congest_approx::fast::{mcm_two_plus_eps, mwm_two_plus_eps};
 use congest_approx::matching::{mwm_grouped, mwm_grouped_with};

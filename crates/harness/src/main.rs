@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p harness [-- PATH] [--samples small|full]
 //!                                [--degradation PATH] [--churn PATH]
+//!                                [--service PATH]
 //! ```
 //!
 //! Runs the full scenario matrix (see `congest_harness`), panicking on
@@ -15,20 +16,25 @@
 //! the `--degradation` path (default `DEGRADATION_engine.json`), and
 //! the churn grid plus its gnp-10k repair acceptance rows (see
 //! `congest_harness::churn`) to the `--churn` path (default
-//! `CHURN_engine.json`).
+//! `CHURN_engine.json`). The service oracle grid (request surface ×
+//! topology × weighting × shard count; see `congest_harness::service`)
+//! is appended to the `--service` path (default `SERVICE_engine.json`,
+//! shared with the `load_gen` throughput records).
 //!
 //! `--samples small` sweeps one engine seed per cell (the CI smoke
 //! setting); `--samples full` (default) sweeps three.
 
 use congest_bench::Table;
 use congest_harness::{
-    churn_acceptance, churn_suite, conformance_suite, degradation_suite, fault_suite, SampleSize,
+    churn_acceptance, churn_suite, conformance_suite, degradation_suite, fault_suite,
+    service_suite, SampleSize,
 };
 
 fn main() {
     let mut out_path = "QUALITY_engine.json".to_string();
     let mut degradation_path = "DEGRADATION_engine.json".to_string();
     let mut churn_path = "CHURN_engine.json".to_string();
+    let mut service_path = "SERVICE_engine.json".to_string();
     let mut samples = SampleSize::Full;
     // CLI flag parsing is this binary's job; the workspace-wide ban
     // (clippy.toml) targets protocol code, not the harness entry point.
@@ -48,10 +54,14 @@ fn main() {
             churn_path = args.next().expect("--churn needs a path");
         } else if let Some(v) = arg.strip_prefix("--churn=") {
             churn_path = v.to_string();
+        } else if arg == "--service" {
+            service_path = args.next().expect("--service needs a path");
+        } else if let Some(v) = arg.strip_prefix("--service=") {
+            service_path = v.to_string();
         } else if arg.starts_with('-') {
             // Don't let a flag typo silently become the output path.
             panic!(
-                "unknown flag {arg}; usage: harness [PATH] [--samples small|full] [--degradation PATH] [--churn PATH]"
+                "unknown flag {arg}; usage: harness [PATH] [--samples small|full] [--degradation PATH] [--churn PATH] [--service PATH]"
             );
         } else {
             out_path = arg;
@@ -71,6 +81,8 @@ fn main() {
     let mut churn = churn_suite();
     eprintln!("running churn repair acceptance rows (gnp-10k)...");
     churn.extend(churn_acceptance());
+    eprintln!("running service oracle grid...");
+    let service = service_suite(samples);
 
     let mut table = Table::new(&[
         "protocol", "graph", "weights", "valid", "rounds", "budget", "ratio", "bound", "oracle",
@@ -172,6 +184,26 @@ fn main() {
     }
     churn_table.print();
 
+    let mut service_table = Table::new(&[
+        "graph", "weights", "shards", "matching", "ratio", "oracle", "mis", "queries", "repair",
+        "cache",
+    ]);
+    for r in &service {
+        service_table.row(vec![
+            r.topology.family.to_string(),
+            r.weighting.to_string(),
+            r.shards.to_string(),
+            r.matching_ok.to_string(),
+            format!("{:.3}", r.ratio_min),
+            r.oracle.to_string(),
+            r.mis_ok.to_string(),
+            r.queries_consistent.to_string(),
+            r.post_repair_ok.to_string(),
+            r.cache_roundtrip_ok.to_string(),
+        ]);
+    }
+    service_table.print();
+
     let records: Vec<String> = conformance
         .iter()
         .map(|r| r.to_json())
@@ -192,6 +224,12 @@ fn main() {
     let churn_records: Vec<String> = churn.iter().map(|r| r.to_json()).collect();
     congest_bench::ledger::append_to_file(&churn_path, &churn_records);
     println!("wrote {churn_path}: {} churn records", churn.len());
+    let service_records: Vec<String> = service.iter().map(|r| r.to_json()).collect();
+    congest_bench::ledger::append_to_file(&service_path, &service_records);
+    println!(
+        "wrote {service_path}: {} service oracle records",
+        service.len()
+    );
 }
 
 fn parse_samples(v: &str) -> SampleSize {

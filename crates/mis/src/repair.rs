@@ -149,6 +149,22 @@ pub fn luby_repair(
     // MIS merges back conflict-free, and its maximality plus the frontier
     // invariant give maximality of the union.
     let (sub, old_of_new) = g.induced_subgraph(&undecided);
+    if sub.num_edges() == 0 {
+        // Every undecided node is isolated among the undecided — the
+        // common shape when churn fully departs a region (departed slots
+        // keep no edges) — so each joins the set by definition, without
+        // an engine spin-up. Keeps fully-departed graphs zero-cost for
+        // the serving layer.
+        for &old in &old_of_new {
+            results[old.index()] = MisResult::InSet;
+        }
+        return RepairRun {
+            results,
+            rounds: 0,
+            repaired,
+            stats: RunStats::default(),
+        };
+    }
     let config = SimConfig::congest_for(&sub);
     let engine = Engine::build(&sub, config, |_| LubyMis::new());
     let outcome = if parallel {
@@ -294,6 +310,43 @@ mod tests {
             MisResult::InSet,
             "an isolated dead slot must re-enter the set vacuously"
         );
+    }
+
+    #[test]
+    fn repair_survives_fully_departed_graph_without_an_engine_run() {
+        // Saturation churn can remove *every* node; the compacted graph
+        // is all isolated slots. Repair must serve this without spinning
+        // up an engine (the damaged region has no edges): every slot
+        // re-enters the set vacuously, in zero rounds.
+        let mut rng = SmallRng::seed_from_u64(204);
+        let base = generators::gnp(24, 0.2, &mut rng);
+        let n = base.num_nodes();
+        let (prior, _) = fresh_mis(&base, 13);
+        let mut dg = DeltaGraph::new(base);
+        for v in 0..n as u32 {
+            dg.remove_node(NodeId::from(v));
+        }
+        assert_eq!(dg.num_live_nodes(), 0);
+        let deltas = dg.take_log();
+        let g2 = dg.compact();
+        assert_eq!(g2.num_edges(), 0);
+        let run = luby_repair(&g2, &prior, &deltas, 14, false);
+        verify_mis(&g2, &run.results).expect("repair must satisfy the MIS oracle");
+        assert_eq!(run.rounds, 0, "edgeless damage must not cost engine rounds");
+        assert_eq!(run.stats, congest_sim::RunStats::default());
+        assert!(run.results.iter().all(|&r| r == MisResult::InSet));
+        // Executor choice is immaterial on the engine-free path.
+        let par = luby_repair(&g2, &prior, &deltas, 14, true);
+        assert_eq!(par.results, run.results);
+    }
+
+    #[test]
+    fn repair_survives_zero_slot_graph() {
+        let g0 = congest_graph::GraphBuilder::new().build();
+        let run = luby_repair(&g0, &[], &DeltaSet::default(), 1, false);
+        assert!(run.results.is_empty());
+        assert_eq!(run.rounds, 0);
+        assert_eq!(run.repaired, 0);
     }
 
     #[test]

@@ -1,0 +1,663 @@
+//! Length-prefixed binary wire format for the matching service.
+//!
+//! A frame is a little-endian `u32` payload length followed by the
+//! payload; the payload is a one-byte tag followed by the variant's
+//! fields, each encoded little-endian. Vectors are a `u32` count
+//! followed by the elements; strings are a `u32` byte length followed
+//! by UTF-8 bytes; options are a `0`/`1` byte followed by the value
+//! when present.
+//!
+//! The format is deliberately tiny and dependency-free (`std` only):
+//! the service is part of a deterministic workspace, so the wire layer
+//! must be a pure function of the message value in both directions.
+//! Decoding is panic-free on arbitrary bytes — every malformed input
+//! maps to a [`WireError`] — and strict: trailing bytes after a
+//! well-formed message are an error, so there is exactly one encoding
+//! per value.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame's payload length. A corrupt or hostile length
+/// prefix must not translate into an unbounded allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 26;
+
+/// Why a byte sequence failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the announced structure did.
+    Truncated,
+    /// Bytes remained after a complete message was read.
+    TrailingBytes,
+    /// The leading tag byte names no known variant.
+    BadTag(u8),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A frame announced a payload longer than [`MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds the cap"),
+        }
+    }
+}
+
+/// A request to the matching service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// "Match these users": a 2-approximate maximum weight matching of
+    /// the current graph, canonical for `(fingerprint, seed)`.
+    MatchUsers {
+        /// Engine seed; the response is a pure function of it and the
+        /// graph fingerprint.
+        seed: u64,
+    },
+    /// A maximal independent set of the current graph, canonical for
+    /// `(fingerprint, seed)`.
+    MisQuery {
+        /// Engine seed for the Luby run.
+        seed: u64,
+    },
+    /// "Is this set independent": no two of the named nodes share an
+    /// edge in the current graph.
+    IsIndependent {
+        /// Node ids to test (slot ids; duplicates are tolerated).
+        nodes: Vec<u32>,
+    },
+    /// Who is this node matched with in the live incrementally-repaired
+    /// matching?
+    IsMatched {
+        /// Node id to look up.
+        node: u32,
+    },
+    /// "Apply these deltas and repair": mutate the graph atomically and
+    /// repair the live matching and MIS incrementally.
+    ApplyDeltas {
+        /// Mutations, applied in order; all-or-nothing.
+        ops: Vec<DeltaOp>,
+    },
+    /// The current one-`u64` graph fingerprint.
+    Fingerprint,
+    /// A snapshot of the service counters.
+    Stats,
+}
+
+/// One graph mutation inside [`Request::ApplyDeltas`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Insert edge `{u, v}` with the given weight.
+    InsertEdge(u32, u32, u64),
+    /// Remove edge `{u, v}`.
+    RemoveEdge(u32, u32),
+    /// Add a node with the given weight (reusing the smallest free slot).
+    AddNode(u64),
+    /// Remove a node and its incident edges.
+    RemoveNode(u32),
+}
+
+/// A response from the matching service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::MatchUsers`].
+    Matching {
+        /// Fingerprint the matching was computed under.
+        fingerprint: u64,
+        /// Whether the answer was served from the fingerprint cache.
+        cached: bool,
+        /// Total weight of the matching.
+        weight: u64,
+        /// Matched pairs `(u, v)` with `u < v`, ascending in `u`.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// Answer to [`Request::MisQuery`].
+    Mis {
+        /// Fingerprint the set was computed under.
+        fingerprint: u64,
+        /// Whether the answer was served from the fingerprint cache.
+        cached: bool,
+        /// Slot ids in the independent set, ascending. Departed slots
+        /// are isolated in the compacted graph and so appear here
+        /// (maximality demands isolated nodes join).
+        in_set: Vec<u32>,
+    },
+    /// Answer to [`Request::IsIndependent`].
+    Independent(bool),
+    /// Answer to [`Request::IsMatched`].
+    Mate {
+        /// The queried node.
+        node: u32,
+        /// Its partner in the live matching, if matched.
+        mate: Option<u32>,
+    },
+    /// Answer to [`Request::ApplyDeltas`].
+    Applied {
+        /// Fingerprint after the mutation.
+        fingerprint: u64,
+        /// Live (non-departed) nodes after the mutation.
+        live_nodes: u32,
+        /// Engine rounds the matching repair spent on the damaged region.
+        matching_repair_rounds: u32,
+        /// Engine rounds the MIS repair spent on the damaged region.
+        mis_repair_rounds: u32,
+    },
+    /// Answer to [`Request::Fingerprint`].
+    FingerprintIs(u64),
+    /// Answer to [`Request::Stats`].
+    StatsSnapshot {
+        /// Requests handled by the service (admitted ones; rejected
+        /// requests never reach it).
+        requests_served: u64,
+        /// `(fingerprint, seed)` lookups served from cache.
+        cache_hits: u64,
+        /// `(fingerprint, seed)` lookups that fell through to a run.
+        cache_misses: u64,
+        /// Requests rejected at admission because the queue was full.
+        overload_rejections: u64,
+        /// `ApplyDeltas` requests that mutated the graph.
+        deltas_applied: u64,
+    },
+    /// The request was rejected at admission control (queue full).
+    Overloaded,
+    /// The request was admitted but could not be served.
+    Error(String),
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Element count for a vector about to be read. Rejecting counts
+    /// larger than the remaining byte budget bounds allocation by the
+    /// input length (every element is at least one byte).
+    fn count(&mut self) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+impl Request {
+    /// Serializes the request payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::MatchUsers { seed } => {
+                out.push(0);
+                put_u64(&mut out, *seed);
+            }
+            Request::MisQuery { seed } => {
+                out.push(1);
+                put_u64(&mut out, *seed);
+            }
+            Request::IsIndependent { nodes } => {
+                out.push(2);
+                put_u32(&mut out, nodes.len() as u32);
+                for &v in nodes {
+                    put_u32(&mut out, v);
+                }
+            }
+            Request::IsMatched { node } => {
+                out.push(3);
+                put_u32(&mut out, *node);
+            }
+            Request::ApplyDeltas { ops } => {
+                out.push(4);
+                put_u32(&mut out, ops.len() as u32);
+                for op in ops {
+                    match op {
+                        DeltaOp::InsertEdge(u, v, w) => {
+                            out.push(0);
+                            put_u32(&mut out, *u);
+                            put_u32(&mut out, *v);
+                            put_u64(&mut out, *w);
+                        }
+                        DeltaOp::RemoveEdge(u, v) => {
+                            out.push(1);
+                            put_u32(&mut out, *u);
+                            put_u32(&mut out, *v);
+                        }
+                        DeltaOp::AddNode(w) => {
+                            out.push(2);
+                            put_u64(&mut out, *w);
+                        }
+                        DeltaOp::RemoveNode(v) => {
+                            out.push(3);
+                            put_u32(&mut out, *v);
+                        }
+                    }
+                }
+            }
+            Request::Fingerprint => out.push(5),
+            Request::Stats => out.push(6),
+        }
+        out
+    }
+
+    /// Parses a request payload. Panic-free on arbitrary bytes.
+    pub fn decode(buf: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cursor::new(buf);
+        let req = match c.u8()? {
+            0 => Request::MatchUsers { seed: c.u64()? },
+            1 => Request::MisQuery { seed: c.u64()? },
+            2 => {
+                let n = c.count()?;
+                let mut nodes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    nodes.push(c.u32()?);
+                }
+                Request::IsIndependent { nodes }
+            }
+            3 => Request::IsMatched { node: c.u32()? },
+            4 => {
+                let n = c.count()?;
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(match c.u8()? {
+                        0 => DeltaOp::InsertEdge(c.u32()?, c.u32()?, c.u64()?),
+                        1 => DeltaOp::RemoveEdge(c.u32()?, c.u32()?),
+                        2 => DeltaOp::AddNode(c.u64()?),
+                        3 => DeltaOp::RemoveNode(c.u32()?),
+                        t => return Err(WireError::BadTag(t)),
+                    });
+                }
+                Request::ApplyDeltas { ops }
+            }
+            5 => Request::Fingerprint,
+            6 => Request::Stats,
+            t => return Err(WireError::BadTag(t)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes the response payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Matching {
+                fingerprint,
+                cached,
+                weight,
+                pairs,
+            } => {
+                out.push(0);
+                put_u64(&mut out, *fingerprint);
+                out.push(u8::from(*cached));
+                put_u64(&mut out, *weight);
+                put_u32(&mut out, pairs.len() as u32);
+                for &(u, v) in pairs {
+                    put_u32(&mut out, u);
+                    put_u32(&mut out, v);
+                }
+            }
+            Response::Mis {
+                fingerprint,
+                cached,
+                in_set,
+            } => {
+                out.push(1);
+                put_u64(&mut out, *fingerprint);
+                out.push(u8::from(*cached));
+                put_u32(&mut out, in_set.len() as u32);
+                for &v in in_set {
+                    put_u32(&mut out, v);
+                }
+            }
+            Response::Independent(b) => {
+                out.push(2);
+                out.push(u8::from(*b));
+            }
+            Response::Mate { node, mate } => {
+                out.push(3);
+                put_u32(&mut out, *node);
+                match mate {
+                    Some(m) => {
+                        out.push(1);
+                        put_u32(&mut out, *m);
+                    }
+                    None => out.push(0),
+                }
+            }
+            Response::Applied {
+                fingerprint,
+                live_nodes,
+                matching_repair_rounds,
+                mis_repair_rounds,
+            } => {
+                out.push(4);
+                put_u64(&mut out, *fingerprint);
+                put_u32(&mut out, *live_nodes);
+                put_u32(&mut out, *matching_repair_rounds);
+                put_u32(&mut out, *mis_repair_rounds);
+            }
+            Response::FingerprintIs(fp) => {
+                out.push(5);
+                put_u64(&mut out, *fp);
+            }
+            Response::StatsSnapshot {
+                requests_served,
+                cache_hits,
+                cache_misses,
+                overload_rejections,
+                deltas_applied,
+            } => {
+                out.push(6);
+                put_u64(&mut out, *requests_served);
+                put_u64(&mut out, *cache_hits);
+                put_u64(&mut out, *cache_misses);
+                put_u64(&mut out, *overload_rejections);
+                put_u64(&mut out, *deltas_applied);
+            }
+            Response::Overloaded => out.push(7),
+            Response::Error(msg) => {
+                out.push(8);
+                put_u32(&mut out, msg.len() as u32);
+                out.extend_from_slice(msg.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a response payload. Panic-free on arbitrary bytes.
+    pub fn decode(buf: &[u8]) -> Result<Response, WireError> {
+        let mut c = Cursor::new(buf);
+        let resp = match c.u8()? {
+            0 => {
+                let fingerprint = c.u64()?;
+                let cached = c.u8()? != 0;
+                let weight = c.u64()?;
+                let n = c.count()?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pairs.push((c.u32()?, c.u32()?));
+                }
+                Response::Matching {
+                    fingerprint,
+                    cached,
+                    weight,
+                    pairs,
+                }
+            }
+            1 => {
+                let fingerprint = c.u64()?;
+                let cached = c.u8()? != 0;
+                let n = c.count()?;
+                let mut in_set = Vec::with_capacity(n);
+                for _ in 0..n {
+                    in_set.push(c.u32()?);
+                }
+                Response::Mis {
+                    fingerprint,
+                    cached,
+                    in_set,
+                }
+            }
+            2 => Response::Independent(c.u8()? != 0),
+            3 => {
+                let node = c.u32()?;
+                let mate = match c.u8()? {
+                    0 => None,
+                    _ => Some(c.u32()?),
+                };
+                Response::Mate { node, mate }
+            }
+            4 => Response::Applied {
+                fingerprint: c.u64()?,
+                live_nodes: c.u32()?,
+                matching_repair_rounds: c.u32()?,
+                mis_repair_rounds: c.u32()?,
+            },
+            5 => Response::FingerprintIs(c.u64()?),
+            6 => Response::StatsSnapshot {
+                requests_served: c.u64()?,
+                cache_hits: c.u64()?,
+                cache_misses: c.u64()?,
+                overload_rejections: c.u64()?,
+                deltas_applied: c.u64()?,
+            },
+            7 => Response::Overloaded,
+            8 => {
+                let n = c.count()?;
+                let bytes = c.take(n)?;
+                let msg = std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?;
+                Response::Error(msg.to_string())
+            }
+            t => return Err(WireError::BadTag(t)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// ------------------------------------------------------------------ frames
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF
+/// at a frame boundary; a frame announcing more than [`MAX_FRAME_LEN`]
+/// bytes is an `InvalidData` error rather than an allocation.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => return Err(io::ErrorKind::UnexpectedEof.into()),
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::FrameTooLarge(len).to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::MatchUsers { seed: 7 },
+            Request::MisQuery { seed: u64::MAX },
+            Request::IsIndependent { nodes: vec![] },
+            Request::IsIndependent {
+                nodes: vec![0, 5, 9],
+            },
+            Request::IsMatched { node: 3 },
+            Request::ApplyDeltas { ops: vec![] },
+            Request::ApplyDeltas {
+                ops: vec![
+                    DeltaOp::InsertEdge(1, 2, 99),
+                    DeltaOp::RemoveEdge(0, 1),
+                    DeltaOp::AddNode(4),
+                    DeltaOp::RemoveNode(2),
+                ],
+            },
+            Request::Fingerprint,
+            Request::Stats,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Matching {
+                fingerprint: 0xDEAD,
+                cached: true,
+                weight: 41,
+                pairs: vec![(0, 3), (1, 2)],
+            },
+            Response::Mis {
+                fingerprint: 1,
+                cached: false,
+                in_set: vec![0, 2, 4],
+            },
+            Response::Independent(true),
+            Response::Independent(false),
+            Response::Mate {
+                node: 7,
+                mate: None,
+            },
+            Response::Mate {
+                node: 7,
+                mate: Some(8),
+            },
+            Response::Applied {
+                fingerprint: 9,
+                live_nodes: 10,
+                matching_repair_rounds: 3,
+                mis_repair_rounds: 0,
+            },
+            Response::FingerprintIs(u64::MAX),
+            Response::StatsSnapshot {
+                requests_served: 1,
+                cache_hits: 2,
+                cache_misses: 3,
+                overload_rejections: 4,
+                deltas_applied: 5,
+            },
+            Response::Overloaded,
+            Response::Error("boom".to_string()),
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in all_requests() {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes), Ok(req));
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in all_responses() {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_inputs_without_panicking() {
+        assert_eq!(Request::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(Request::decode(&[200]), Err(WireError::BadTag(200)));
+        // MatchUsers with a short seed.
+        assert_eq!(Request::decode(&[0, 1, 2]), Err(WireError::Truncated));
+        // IsIndependent announcing more elements than bytes remain.
+        assert_eq!(
+            Request::decode(&[2, 255, 255, 255, 255]),
+            Err(WireError::Truncated)
+        );
+        // Valid Fingerprint with junk appended.
+        assert_eq!(Request::decode(&[5, 0]), Err(WireError::TrailingBytes));
+        // Delta op with a bad inner tag.
+        assert_eq!(
+            Request::decode(&[4, 1, 0, 0, 0, 9]),
+            Err(WireError::BadTag(9))
+        );
+        // Error response with invalid UTF-8.
+        assert_eq!(
+            Response::decode(&[8, 2, 0, 0, 0, 0xFF, 0xFE]),
+            Err(WireError::BadUtf8)
+        );
+        // Every truncation of every valid encoding fails cleanly.
+        for req in all_requests() {
+            let bytes = req.encode();
+            for cut in 0..bytes.len() {
+                assert!(Request::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+        for resp in all_responses() {
+            let bytes = resp.encode();
+            for cut in 0..bytes.len() {
+                assert!(Response::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_cap_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+
+        // A hostile length prefix is an error, not an allocation.
+        let huge = (MAX_FRAME_LEN as u32 + 1).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+        // A truncated length prefix is an error, not a hang.
+        assert!(read_frame(&mut &[1u8, 0][..]).is_err());
+    }
+}

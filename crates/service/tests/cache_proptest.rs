@@ -1,0 +1,227 @@
+//! Property test for the service's cache-invalidation contract
+//! (ISSUE 10, satellite 3): under *any* interleaving of queries and
+//! mutations, a served answer — cached or fresh — equals a from-scratch
+//! recompute on the current graph, and the live repaired state stays
+//! valid.
+//!
+//! The oracle is a mirror [`DeltaGraph`] fed the same mutations; every
+//! `MatchUsers`/`MisQuery` response is checked against a fresh engine
+//! run on the mirror's compacted graph at the same seed. A stale cache
+//! entry surviving a fingerprint change would fail the comparison the
+//! first time a mutated graph reuses a seed.
+
+use congest_approx::matching::mwm_grouped_with_sharded;
+use congest_graph::{generators, DeltaGraph, NodeId, ShardPartition};
+use congest_mis::{verify_mis, LubyMis, MisResult};
+use congest_service::{DeltaOp, MatchingService, Request, Response, ServiceConfig};
+use congest_sim::{Engine, SimConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One step of a service trace: a query or a (raw-index) mutation
+/// batch. Raw indices are interpreted against the current mirror so
+/// every submitted op is valid; see `materialize_ops`.
+#[derive(Clone, Debug)]
+enum Step {
+    Match(u64),
+    Mis(u64),
+    Deltas(Vec<(u8, u16, u16, u8)>),
+}
+
+fn arb_trace() -> impl Strategy<Value = (u64, Vec<Step>)> {
+    (0u64..=u64::MAX, 0u64..=u64::MAX, 1usize..14).prop_map(|(graph_seed, step_seed, count)| {
+        let mut rng = SmallRng::seed_from_u64(step_seed);
+        let steps = (0..count)
+            .map(|_| match rng.random_range(0..4u32) {
+                0 => Step::Match(rng.random_range(0..4u64)),
+                1 => Step::Mis(rng.random_range(0..4u64)),
+                _ => Step::Deltas(
+                    (0..rng.random_range(1..4usize))
+                        .map(|_| {
+                            (
+                                rng.random::<u32>() as u8,
+                                rng.random::<u32>() as u16,
+                                rng.random::<u32>() as u16,
+                                rng.random::<u32>() as u8,
+                            )
+                        })
+                        .collect(),
+                ),
+            })
+            .collect();
+        (graph_seed, steps)
+    })
+}
+
+/// Interprets raw indices against the mirror, producing only ops the
+/// service must accept (the rejection path has its own unit tests).
+fn materialize_ops(mirror: &DeltaGraph, raw: &[(u8, u16, u16, u8)]) -> Vec<DeltaOp> {
+    // Track the effect of earlier ops in the batch on a scratch copy so
+    // later ops stay valid against the batch-in-progress.
+    let mut scratch = mirror.clone();
+    let mut ops = Vec::new();
+    for &(kind, a, b, wb) in raw {
+        let alive: Vec<u32> = (0..scratch.num_slots() as u32)
+            .filter(|&v| scratch.is_alive(NodeId(v)))
+            .collect();
+        match kind % 4 {
+            0 => {
+                if alive.len() < 2 {
+                    continue;
+                }
+                let u = alive[a as usize % alive.len()];
+                let v = alive[b as usize % alive.len()];
+                if u == v || scratch.has_edge(NodeId(u), NodeId(v)) {
+                    continue;
+                }
+                let w = u64::from(wb % 16) + 1;
+                scratch.insert_edge(NodeId(u), NodeId(v), w);
+                ops.push(DeltaOp::InsertEdge(u, v, w));
+            }
+            1 => {
+                let mut live_edges = Vec::new();
+                for &u in &alive {
+                    for (v, w) in scratch.neighbors(NodeId(u)) {
+                        if u < v.0 {
+                            live_edges.push((u, v.0, w));
+                        }
+                    }
+                }
+                if live_edges.is_empty() {
+                    continue;
+                }
+                let (u, v, _) = live_edges[a as usize % live_edges.len()];
+                scratch.remove_edge(NodeId(u), NodeId(v));
+                ops.push(DeltaOp::RemoveEdge(u, v));
+            }
+            2 => {
+                let w = u64::from(wb % 8) + 1;
+                scratch.add_node(w);
+                ops.push(DeltaOp::AddNode(w));
+            }
+            _ => {
+                if alive.len() <= 2 {
+                    continue;
+                }
+                let v = alive[a as usize % alive.len()];
+                scratch.remove_node(NodeId(v));
+                ops.push(DeltaOp::RemoveNode(v));
+            }
+        }
+    }
+    ops
+}
+
+fn check_live_state(svc: &MatchingService) -> Result<(), TestCaseError> {
+    let g = svc.graph();
+    prop_assert!(
+        verify_mis(g, svc.live_mis()).is_ok(),
+        "live MIS must verify"
+    );
+    let mut seen = vec![false; g.num_nodes()];
+    for &(u, v) in svc.live_pairs() {
+        prop_assert!(g.has_edge(u, v), "live pair {u}-{v} must be an edge");
+        prop_assert!(
+            !seen[u.index()] && !seen[v.index()],
+            "pairs must be disjoint"
+        );
+        seen[u.index()] = true;
+        seen[v.index()] = true;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving of `MatchUsers` / `MisQuery` / `ApplyDeltas`:
+    /// served answers (cache hits included) equal a fresh recompute on
+    /// an independently-maintained mirror of the graph.
+    #[test]
+    fn served_answers_match_fresh_recompute(trace in arb_trace()) {
+        let (graph_seed, steps) = trace;
+        let mut rng = SmallRng::seed_from_u64(graph_seed);
+        let mut g = generators::gnp(8 + (graph_seed % 9) as usize, 0.25, &mut rng);
+        generators::randomize_edge_weights(&mut g, 32, &mut rng);
+
+        let mut mirror = DeltaGraph::new(g.clone());
+        let mut svc = MatchingService::new(g, ServiceConfig {
+            cache_capacity: 2, // small: eviction paths get exercised too
+            ..ServiceConfig::default()
+        });
+
+        for step in steps {
+            match step {
+                Step::Match(seed) => {
+                    let resp = svc.handle(&Request::MatchUsers { seed });
+                    let Response::Matching { fingerprint, weight, pairs, .. } = resp else {
+                        return Err(TestCaseError::Fail(format!("expected matching, got {resp:?}")));
+                    };
+                    // Served fingerprint must match the mirror.
+                    prop_assert_eq!(fingerprint, mirror.fingerprint());
+                    let fresh_g = mirror.compact();
+                    let part = ShardPartition::contiguous(fresh_g.num_nodes(), 1);
+                    let (fresh, completed, _) = mwm_grouped_with_sharded(
+                        &fresh_g, SimConfig::congest_for(&fresh_g), seed, &part);
+                    prop_assert!(completed);
+                    let fresh_pairs: Vec<(u32, u32)> = fresh.matching.edges(&fresh_g)
+                        .map(|e| { let (u, v) = fresh_g.endpoints(e); (u.0, v.0) })
+                        .collect();
+                    prop_assert_eq!(pairs, fresh_pairs);
+                    prop_assert_eq!(weight, fresh.matching.weight(&fresh_g));
+                }
+                Step::Mis(seed) => {
+                    let resp = svc.handle(&Request::MisQuery { seed });
+                    let Response::Mis { fingerprint, in_set, .. } = resp else {
+                        return Err(TestCaseError::Fail(format!("expected MIS, got {resp:?}")));
+                    };
+                    prop_assert_eq!(fingerprint, mirror.fingerprint());
+                    let fresh_g = mirror.compact();
+                    let fresh = Engine::build(
+                        &fresh_g, SimConfig::congest_for(&fresh_g), |_| LubyMis::new())
+                        .run(seed);
+                    prop_assert!(fresh.completed);
+                    let fresh_set: Vec<u32> = fresh.into_outputs().iter().enumerate()
+                        .filter(|(_, r)| **r == MisResult::InSet)
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    prop_assert_eq!(in_set, fresh_set);
+                }
+                Step::Deltas(raw) => {
+                    let ops = materialize_ops(&mirror, &raw);
+                    if ops.is_empty() {
+                        continue;
+                    }
+                    for op in &ops {
+                        match *op {
+                            DeltaOp::InsertEdge(u, v, w) =>
+                                mirror.insert_edge(NodeId(u), NodeId(v), w),
+                            DeltaOp::RemoveEdge(u, v) =>
+                                mirror.remove_edge(NodeId(u), NodeId(v)),
+                            DeltaOp::AddNode(w) => { mirror.add_node(w); }
+                            DeltaOp::RemoveNode(v) => mirror.remove_node(NodeId(v)),
+                        }
+                    }
+                    let resp = svc.handle(&Request::ApplyDeltas { ops });
+                    let Response::Applied { fingerprint, .. } = resp else {
+                        return Err(TestCaseError::Fail(format!("expected Applied, got {resp:?}")));
+                    };
+                    // Post-mutation fingerprint must match the mirror.
+                    prop_assert_eq!(fingerprint, mirror.fingerprint());
+                    check_live_state(&svc)?;
+                }
+            }
+        }
+
+        // Exercise a reuse cycle at the end: the same seed twice, with
+        // the second necessarily cached, must still equal recompute.
+        let a = svc.handle(&Request::MatchUsers { seed: 0 });
+        let b = svc.handle(&Request::MatchUsers { seed: 0 });
+        let Response::Matching { pairs: pa, weight: wa, .. } = a else { unreachable!() };
+        let Response::Matching { pairs: pb, weight: wb, cached, .. } = b else { unreachable!() };
+        prop_assert!(cached);
+        prop_assert_eq!(pa, pb);
+        prop_assert_eq!(wa, wb);
+    }
+}

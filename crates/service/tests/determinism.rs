@@ -1,0 +1,133 @@
+//! End-to-end determinism across shard counts (ISSUE 10, satellite 4):
+//! the same request trace against the same seeded graph must produce
+//! byte-identical responses whether the service runs on 1 worker shard
+//! or several, and whether it is driven directly, through the batched
+//! in-process queue, or over TCP.
+//!
+//! This is the service-level restatement of `Engine::run_sharded`'s
+//! bit-identity guarantee, plus the service's own discipline of keeping
+//! shard-dependent meters (cross-shard traffic) out of wire responses.
+
+use congest_graph::generators;
+use congest_service::{
+    DeltaOp, MatchingService, Request, Response, ServiceConfig, ServiceServer, TcpClient, TcpFacade,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn build_graph(seed: u64) -> congest_graph::Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = generators::gnp(40, 0.12, &mut rng);
+    generators::randomize_edge_weights(&mut g, 64, &mut rng);
+    g
+}
+
+/// A trace touching every request kind, including mutations that force
+/// repairs and cache invalidation.
+fn trace() -> Vec<Request> {
+    vec![
+        Request::Fingerprint,
+        Request::MatchUsers { seed: 1 },
+        Request::MisQuery { seed: 1 },
+        Request::MatchUsers { seed: 1 }, // cached
+        Request::IsIndependent {
+            nodes: vec![0, 1, 2, 3],
+        },
+        Request::IsMatched { node: 5 },
+        Request::ApplyDeltas {
+            ops: vec![
+                DeltaOp::RemoveNode(3),
+                DeltaOp::AddNode(7),
+                DeltaOp::InsertEdge(0, 1, 9),
+            ],
+        },
+        Request::MatchUsers { seed: 1 }, // recompute under new fingerprint
+        Request::MisQuery { seed: 2 },
+        Request::IsMatched { node: 0 },
+        Request::ApplyDeltas {
+            ops: vec![DeltaOp::RemoveEdge(0, 1)],
+        },
+        Request::MatchUsers { seed: 3 },
+        Request::Fingerprint,
+        Request::Stats,
+    ]
+}
+
+fn config(shards: usize) -> ServiceConfig {
+    ServiceConfig {
+        shards,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Guard: the trace's edge mutations must be valid against the seeded
+/// graph, or every executor would "agree" on an Error response.
+fn assert_trace_applied(responses: &[Response]) {
+    for (i, resp) in responses.iter().enumerate() {
+        assert!(
+            !matches!(resp, Response::Error(_) | Response::Overloaded),
+            "request {i} unexpectedly failed: {resp:?}"
+        );
+    }
+}
+
+#[test]
+fn direct_service_is_identical_across_shard_counts() {
+    let baseline: Vec<Response> = {
+        let mut svc = MatchingService::new(build_graph(77), config(1));
+        trace().iter().map(|r| svc.handle(r)).collect()
+    };
+    assert_trace_applied(&baseline);
+    for shards in [2, 3, 7] {
+        let mut svc = MatchingService::new(build_graph(77), config(shards));
+        let responses: Vec<Response> = trace().iter().map(|r| svc.handle(r)).collect();
+        assert_eq!(
+            responses, baseline,
+            "shards={shards} diverged from the 1-shard baseline"
+        );
+    }
+}
+
+#[test]
+fn queued_server_matches_the_direct_service() {
+    let direct: Vec<Response> = {
+        let mut svc = MatchingService::new(build_graph(77), config(1));
+        trace().iter().map(|r| svc.handle(r)).collect()
+    };
+    for shards in [1, 4] {
+        let server = ServiceServer::spawn(MatchingService::new(build_graph(77), config(shards)));
+        let client = server.client();
+        let responses: Vec<Response> = trace().into_iter().map(|r| client.request(r)).collect();
+        server.shutdown();
+        assert_eq!(
+            responses, direct,
+            "queued server (shards={shards}) diverged from direct dispatch"
+        );
+    }
+}
+
+#[test]
+fn tcp_frontend_matches_the_direct_service() {
+    let direct: Vec<Response> = {
+        let mut svc = MatchingService::new(build_graph(77), config(1));
+        trace().iter().map(|r| svc.handle(r)).collect()
+    };
+    let server = ServiceServer::spawn(MatchingService::new(build_graph(77), config(3)));
+    let Ok(facade) = TcpFacade::bind("127.0.0.1:0", server.client()) else {
+        // Sandboxes may forbid binding; the queued-server test already
+        // covers shard determinism.
+        server.shutdown();
+        return;
+    };
+    let mut client = TcpClient::connect(facade.local_addr()).unwrap();
+    let responses: Vec<Response> = trace()
+        .iter()
+        .map(|r| client.request(r).expect("TCP roundtrip"))
+        .collect();
+    facade.stop();
+    server.shutdown();
+    assert_eq!(
+        responses, direct,
+        "TCP frontend diverged from direct dispatch"
+    );
+}

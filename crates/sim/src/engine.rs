@@ -1,7 +1,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use congest_graph::{DeltaSet, EdgeId, Graph, NodeId};
+use congest_graph::{DeltaSet, EdgeId, Graph, NodeId, ShardPartition};
 use rand::rngs::SmallRng;
 use rayon::prelude::*;
 
@@ -247,6 +247,25 @@ impl<O> RunOutcome<O> {
             .map(|o| o.expect("completed runs have all outputs"))
             .collect()
     }
+}
+
+/// Result of [`Engine::run_sharded`]: the ordinary [`RunOutcome`] (bit-
+/// identical to [`Engine::run`] for the same seed) plus the sharding
+/// cost surface — how much of the protocol's traffic crossed shard
+/// boundaries and therefore counts as coordinator↔worker communication
+/// in a sharded deployment.
+#[derive(Clone, Debug)]
+pub struct ShardedRun<O> {
+    /// The protocol run itself, indistinguishable from a sequential run.
+    pub outcome: RunOutcome<O>,
+    /// Number of shards the slot space was partitioned into.
+    pub shards: usize,
+    /// Undirected edges whose endpoints live in different shards.
+    pub cross_shard_edges: usize,
+    /// Delivered messages that crossed a shard boundary (both directions
+    /// counted, like [`RunStats::total_messages`]). Kept out of
+    /// [`RunStats`] so stats stay executor-independent.
+    pub cross_shard_messages: u64,
 }
 
 /// Everything one node owns during a run: its protocol instance, static
@@ -664,6 +683,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
     pub fn run(self, seed: u64) -> RunOutcome<P::Output> {
         self.run_with(
             seed,
+            true,
             |slots, round, planes| Self::step_all(slots, round, planes),
             |slots, planes, args| Self::deliver_all(slots, planes, args),
         )
@@ -730,6 +750,7 @@ impl<'g, P: Protocol> Engine<'g, P> {
         let inline_below = threads.saturating_mul(PAR_MIN_SLOTS_PER_WORKER);
         self.run_with(
             seed,
+            true,
             move |slots, round, planes| {
                 if slots.len() < inline_below {
                     Self::step_all(slots, round, planes);
@@ -786,13 +807,145 @@ impl<'g, P: Protocol> Engine<'g, P> {
         )
     }
 
+    /// Shard-partitioned executor for the matching-as-a-service façade:
+    /// each shard's contiguous slot range is stepped and delivered by its
+    /// own worker thread, and every message crossing a shard boundary is
+    /// metered as coordinator↔worker traffic (the Huang–Radunovic–
+    /// Vojnovic–Zhang communication model: cross-shard edges *are* the
+    /// cost surface, carried here as the same packed-u64 plane rows as
+    /// intra-shard ones).
+    ///
+    /// Outputs, statistics, and completion are **bit-identical to
+    /// [`run`](Self::run)** for the same `(graph, config, seed)`, for any
+    /// partition: nodes step against private RNGs and disjoint plane
+    /// rows, delivery writes each directed edge's unique cell, and
+    /// tallies merge commutatively — the run ≡ run_parallel contract
+    /// extended with a third executor. Compaction is disabled so slot
+    /// index == node id for the whole run, keeping partition ranges
+    /// aligned with slot chunks; the cross-shard meter is kept out of
+    /// [`RunStats`] so stats equality across executors stays exact.
+    ///
+    /// # Panics
+    /// Panics if `partition` does not cover exactly the graph's slots.
+    pub fn run_sharded(self, seed: u64, partition: &ShardPartition) -> ShardedRun<P::Output>
+    where
+        P: Send,
+        P::Output: Send,
+    {
+        assert_eq!(
+            partition.num_slots(),
+            self.graph.num_nodes(),
+            "Engine::run_sharded: partition covers {} slots, graph has {}",
+            partition.num_slots(),
+            self.graph.num_nodes()
+        );
+        let shards = partition.shards();
+        let cross_shard_edges = partition.cross_shard_edges(self.graph);
+        if shards == 1 {
+            // One shard is the sequential engine; nothing crosses.
+            return ShardedRun {
+                outcome: self.run(seed),
+                shards: 1,
+                cross_shard_edges: 0,
+                cross_shard_messages: 0,
+            };
+        }
+        let cross_messages = AtomicU64::new(0);
+        let outcome = self.run_with(
+            seed,
+            false,
+            |slots, round, planes| {
+                // Compaction is off: `slots` is the full table and slot
+                // index == node id, so splitting at partition boundaries
+                // hands each worker exactly its shard's nodes.
+                std::thread::scope(|scope| {
+                    let mut rest = slots;
+                    let mut offset = 0;
+                    for s in 0..shards {
+                        let end = partition.range(s).end;
+                        let (chunk, tail) = rest.split_at_mut(end - offset);
+                        offset = end;
+                        rest = tail;
+                        if !chunk.is_empty() {
+                            scope.spawn(move || Self::step_all(chunk, round, planes));
+                        }
+                    }
+                });
+            },
+            |slots, planes, args| {
+                let mut tallies: Vec<(Tally, u64)> = Vec::with_capacity(shards);
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(shards);
+                    // `&mut` chunks (like `par_chunks_mut` in the parallel
+                    // executor) so only `P: Send` is required of protocols.
+                    let mut rest = slots;
+                    let mut offset = 0;
+                    for s in 0..shards {
+                        let end = partition.range(s).end;
+                        let (chunk, tail) = rest.split_at_mut(end - offset);
+                        offset = end;
+                        rest = tail;
+                        handles.push(scope.spawn(move || {
+                            let mut tally = Tally::default();
+                            let mut cross = 0u64;
+                            for slot in chunk.iter() {
+                                Self::deliver_slot_with(slot, planes, args, &mut tally, {
+                                    let cross = &mut cross;
+                                    move |_from, to, _bits| {
+                                        // The whole chunk belongs to shard
+                                        // `s`, so only the receiver's side
+                                        // needs a lookup.
+                                        if partition.shard_of(to) != s {
+                                            *cross += 1;
+                                        }
+                                    }
+                                });
+                            }
+                            (tally, cross)
+                        }));
+                    }
+                    for h in handles {
+                        tallies.push(h.join().expect("shard delivery worker panicked"));
+                    }
+                });
+                // Merge in shard order — sums and max are commutative, so
+                // the totals are bit-identical to the sequential tally.
+                let mut merged = Tally::default();
+                for (t, cross) in tallies {
+                    merged.total_messages += t.total_messages;
+                    merged.max_message_bits = merged.max_message_bits.max(t.max_message_bits);
+                    merged.budget_violations += t.budget_violations;
+                    merged.dropped_messages += t.dropped_messages;
+                    merged.adversary_dropped_messages += t.adversary_dropped_messages;
+                    merged.delayed_messages += t.delayed_messages;
+                    merged.duplicated_messages += t.duplicated_messages;
+                    merged.corrupted_messages += t.corrupted_messages;
+                    cross_messages.fetch_add(cross, Ordering::Relaxed);
+                }
+                merged
+            },
+        );
+        ShardedRun {
+            outcome,
+            shards,
+            cross_shard_edges,
+            cross_shard_messages: cross_messages.into_inner(),
+        }
+    }
+
     /// Shared run loop; `compute` executes one round's compute phase over
     /// the active slots (round 0 is `init`), `deliver` scatters their
     /// send-plane rows (untraced runs only — tracing uses the sequential
     /// ascending-id path so trace order is reproducible).
+    ///
+    /// `allow_compact` lets the caller veto active-prefix compaction even
+    /// when tracing/restart/churn would permit it: the sharded executor
+    /// needs slot index == node id for the whole run so partition ranges
+    /// stay aligned with slot chunks.
     fn run_with(
         self,
         seed: u64,
+        allow_compact: bool,
         compute: impl Fn(&mut [NodeSlot<'g, P>], usize, &Planes),
         deliver: impl Fn(&mut [NodeSlot<'g, P>], &Planes, &DeliverArgs<'_>) -> Tally,
     ) -> RunOutcome<P::Output> {
@@ -890,7 +1043,8 @@ impl<'g, P: Protocol> Engine<'g, P> {
         // disables compaction so delivery can walk ascending node ids,
         // and restart mode and node churn disable it so a rejoining node
         // can be found at slot index == node id.
-        let compact = !config.record_traces && restart_after.is_none() && churn.is_none();
+        let compact =
+            allow_compact && !config.record_traces && restart_after.is_none() && churn.is_none();
         let mut active_len = n;
         let mut stats = RunStats::default();
         let mut traces = Vec::new();
@@ -1624,6 +1778,141 @@ mod tests {
         assert_eq!(outcome.stats.total_messages, 12);
         assert_eq!(outcome.stats.budget_violations, 0);
         assert!(outcome.stats.max_message_bits >= 1);
+    }
+
+    /// Multi-round randomized walk: every round each node adds a private
+    /// coin to a running sum, broadcasts it, and halts once the sum
+    /// crosses a threshold — so outputs depend on per-node RNG streams,
+    /// inbox contents, *and* halt timing, exactly the surface where a
+    /// misaligned executor would diverge.
+    struct CoinWalk {
+        sum: u64,
+        heard: u64,
+    }
+    impl Protocol for CoinWalk {
+        type Msg = u32;
+        type Output = (usize, u64);
+        fn init(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.broadcast(0);
+        }
+        fn round(
+            &mut self,
+            ctx: &mut Context<'_, u32>,
+            inbox: Inbox<'_, u32>,
+        ) -> Status<(usize, u64)> {
+            for (_, x) in inbox {
+                self.heard = self.heard.wrapping_mul(31).wrapping_add(u64::from(x));
+            }
+            self.sum += ctx.rng().random_range(0..7u64);
+            if self.sum >= 12 {
+                return Status::Halt((ctx.round(), self.heard));
+            }
+            ctx.broadcast((self.sum & 0xffff) as u32);
+            Status::Active
+        }
+    }
+
+    #[test]
+    fn sharded_executor_is_bit_identical_to_sequential() {
+        use congest_graph::ShardPartition;
+        let mut rng = SmallRng::seed_from_u64(9);
+        for trial in 0..3u64 {
+            let g = generators::gnp(60, 0.08, &mut rng);
+            let cfg = SimConfig::congest_for(&g).with_max_rounds(400);
+            let base =
+                Engine::build(&g, cfg.clone(), |_| CoinWalk { sum: 0, heard: 0 }).run(31 + trial);
+            assert!(base.completed, "trial {trial}");
+            for shards in [1usize, 2, 3, 7] {
+                let p = ShardPartition::contiguous(g.num_nodes(), shards);
+                let run = Engine::build(&g, cfg.clone(), |_| CoinWalk { sum: 0, heard: 0 })
+                    .run_sharded(31 + trial, &p);
+                assert_eq!(run.outcome.completed, base.completed, "trial {trial}");
+                assert_eq!(run.outcome.outputs, base.outputs, "trial {trial}/{shards}");
+                assert_eq!(run.outcome.stats, base.stats, "trial {trial}/{shards}");
+                assert_eq!(run.shards, shards);
+                assert_eq!(run.cross_shard_edges, p.cross_shard_edges(&g));
+                if shards == 1 {
+                    assert_eq!(run.cross_shard_messages, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_saturation_departs_every_node_gracefully() {
+        // node_leave_prob = 1.0: every node departs in round 1, leaving
+        // zero live nodes. The loop must terminate immediately (no
+        // empty-graph spin to the round cap) with the departure counted.
+        let mut rng = SmallRng::seed_from_u64(44);
+        let g = generators::gnp(30, 0.2, &mut rng);
+        let adv = Adversary::default().with_seed(99).with_node_leave_prob(1.0);
+        let cfg = SimConfig::congest_for(&g).with_adversary(adv);
+        let outcome = Engine::build(&g, cfg, |_| Census { heard: Vec::new() }).run(5);
+        assert!(!outcome.completed, "departed nodes never produce outputs");
+        assert_eq!(outcome.stats.nodes_left as usize, g.num_nodes());
+        assert!(
+            outcome.stats.rounds <= 2,
+            "saturated churn must terminate at once, ran {} rounds",
+            outcome.stats.rounds
+        );
+    }
+
+    #[test]
+    fn apply_deltas_accepts_a_fully_departed_graph() {
+        use congest_graph::DeltaGraph;
+        let mut rng = SmallRng::seed_from_u64(45);
+        let g = generators::gnp(12, 0.3, &mut rng);
+        let engine = Engine::build(&g, SimConfig::congest_for(&g), |_| Census {
+            heard: Vec::new(),
+        });
+        let mut dg = DeltaGraph::new(g.clone());
+        for v in g.nodes() {
+            dg.remove_node(v);
+        }
+        assert_eq!(dg.num_live_nodes(), 0);
+        let deltas = dg.take_log();
+        let g2 = dg.compact();
+        // Retargeting onto the all-departed compacted graph must be legal
+        // (slot space preserved, every slot isolated), and the follow-up
+        // run completes trivially: isolated nodes halt after one round.
+        let outcome = engine.apply_deltas(&g2, &deltas).run(9);
+        assert!(outcome.completed);
+        assert!(outcome
+            .outputs
+            .iter()
+            .all(|o| o.as_ref().is_some_and(Vec::is_empty)));
+    }
+
+    #[test]
+    fn zero_slot_graph_completes_vacuously_on_every_executor() {
+        use congest_graph::ShardPartition;
+        let g = congest_graph::GraphBuilder::new().build();
+        let seq = Engine::build(&g, SimConfig::congest_for(&g), |_| InstantHalt).run(1);
+        assert!(seq.completed);
+        assert_eq!(seq.stats.rounds, 0);
+        let par = Engine::build(&g, SimConfig::congest_for(&g), |_| InstantHalt).run_parallel(1);
+        assert!(par.completed);
+        let p = ShardPartition::contiguous(0, 3);
+        let sh = Engine::build(&g, SimConfig::congest_for(&g), |_| InstantHalt).run_sharded(1, &p);
+        assert!(sh.outcome.completed);
+        assert_eq!(sh.cross_shard_messages, 0);
+    }
+
+    #[test]
+    fn sharded_cross_meter_counts_boundary_traffic_exactly() {
+        use congest_graph::ShardPartition;
+        // path(6) in 2 shards of 3: only the edge 2–3 crosses. Census
+        // broadcasts once per node at init, so exactly one message per
+        // direction crosses the boundary.
+        let g = generators::path(6);
+        let p = ShardPartition::contiguous(6, 2);
+        let run = Engine::build(&g, SimConfig::congest_for(&g), |_| Census {
+            heard: Vec::new(),
+        })
+        .run_sharded(3, &p);
+        assert!(run.outcome.completed);
+        assert_eq!(run.cross_shard_edges, 1);
+        assert_eq!(run.cross_shard_messages, 2);
     }
 
     /// Broadcasts the sender id, then asserts every message arrived on the

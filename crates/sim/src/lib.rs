@@ -111,7 +111,7 @@ pub mod rng;
 pub use context::Context;
 pub use engine::{
     plane_bytes, plane_bytes_for, run_protocol, Engine, MessageTrace, RunOutcome, RunStats,
-    SimConfig,
+    ShardedRun, SimConfig,
 };
 pub use fault::Adversary;
 pub use inbox::{Inbox, InboxIter};
